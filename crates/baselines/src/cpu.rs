@@ -1,0 +1,127 @@
+//! CPU execution models (Intel i7-4771, ARM Cortex-A57).
+
+use crate::workload::WorkloadStats;
+
+/// A CPU platform's cost model.
+///
+/// Per-query time is work (octree nodes fetched, OBB–AABB tests) priced at
+/// per-operation latencies, divided by the core count (the kernel is
+/// embarrassingly parallel across queries). Constants are calibrated so the
+/// cross-platform ratios track Table 3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuModel {
+    /// Platform name as it appears in Table 3.
+    pub name: &'static str,
+    /// Cores used by the parallel kernel.
+    pub cores: u32,
+    /// Nanoseconds to fetch + decode one octree node (cache-resident).
+    pub node_ns: f64,
+    /// Nanoseconds for one full early-exit OBB–AABB intersection test.
+    pub test_ns: f64,
+    /// Nanoseconds for the simpler leaf-AABB test of the leaf-node kernel.
+    pub leaf_test_ns: f64,
+    /// Package power in watts (Table 3).
+    pub power_w: f64,
+}
+
+/// Intel i7-4771 (8 threads), ~65 W.
+pub const I7_4771: CpuModel = CpuModel {
+    name: "i7-4771 (8-core)",
+    cores: 8,
+    node_ns: 80.0,
+    test_ns: 120.0,
+    leaf_test_ns: 55.0,
+    power_w: 65.0,
+};
+
+/// ARM Cortex-A57 (4 cores), ~4.2 W.
+pub const CORTEX_A57: CpuModel = CpuModel {
+    name: "Cortex-A57 (4-core)",
+    cores: 4,
+    node_ns: 100.0,
+    test_ns: 140.0,
+    leaf_test_ns: 65.0,
+    power_w: 4.2,
+};
+
+/// CPU kernel variants of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CpuVariant {
+    /// Per-query early-exit octree traversal.
+    Traversal,
+    /// One test per occupied leaf per query (the "OBB-octree leaf nodes"
+    /// row — much worse on CPUs, as the paper reports).
+    LeafNodes,
+}
+
+/// Wall-clock milliseconds to run `queries` OBB–octree queries.
+///
+/// # Panics
+///
+/// Panics if the model has zero cores.
+pub fn cpu_cd_time_ms(
+    model: &CpuModel,
+    variant: CpuVariant,
+    workload: &WorkloadStats,
+    queries: u64,
+) -> f64 {
+    assert!(model.cores > 0, "CPU model needs cores");
+    let per_query_ns = match variant {
+        CpuVariant::Traversal => {
+            workload.avg_nodes * model.node_ns + workload.avg_tests * model.test_ns
+        }
+        CpuVariant::LeafNodes => workload.leaf_count * model.leaf_test_ns,
+    };
+    per_query_ns * queries as f64 / model.cores as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::measure_workload;
+    use mp_octree::{Scene, SceneConfig};
+
+    fn workload() -> WorkloadStats {
+        measure_workload(&Scene::random(SceneConfig::paper(), 0).octree(), 1024, 7)
+    }
+
+    const Q: u64 = 1 << 20;
+
+    #[test]
+    fn i7_is_faster_than_a57() {
+        let w = workload();
+        let i7 = cpu_cd_time_ms(&I7_4771, CpuVariant::Traversal, &w, Q);
+        let a57 = cpu_cd_time_ms(&CORTEX_A57, CpuVariant::Traversal, &w, Q);
+        assert!(i7 < a57);
+        // Table 3 ratio ≈ 2.35×; allow a broad band.
+        let ratio = a57 / i7;
+        assert!((1.5..=4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn leaf_kernel_is_much_worse_on_cpu() {
+        // Table 3: i7 goes 153 ms -> 890 ms with the leaf-node kernel.
+        let w = workload();
+        let trav = cpu_cd_time_ms(&I7_4771, CpuVariant::Traversal, &w, Q);
+        let leaf = cpu_cd_time_ms(&I7_4771, CpuVariant::LeafNodes, &w, Q);
+        assert!(leaf > 2.0 * trav, "leaf {leaf} vs traversal {trav}");
+    }
+
+    #[test]
+    fn table3_order_of_magnitude() {
+        // The i7 traversal number should land in the Table 3 ballpark
+        // (153 ms for 2^20 queries) — within ~3x given our synthetic
+        // workload differs from the authors'.
+        let w = workload();
+        let i7 = cpu_cd_time_ms(&I7_4771, CpuVariant::Traversal, &w, Q);
+        assert!((40.0..=460.0).contains(&i7), "i7 {i7} ms");
+    }
+
+    #[test]
+    fn scales_linearly_in_queries() {
+        let w = workload();
+        let t1 = cpu_cd_time_ms(&I7_4771, CpuVariant::Traversal, &w, 1000);
+        let t2 = cpu_cd_time_ms(&I7_4771, CpuVariant::Traversal, &w, 2000);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,181 @@
+//! GPU execution models (NVIDIA Titan V, Jetson TX2).
+
+use crate::workload::WorkloadStats;
+
+/// A GPU platform's cost model.
+///
+/// One thread performs one OBB–octree query (§7.5). The dominant effects
+/// are *warp divergence* — a warp pays for the union of the traversal
+/// paths of its 32 threads — and memory divergence on the per-thread
+/// traversal queues. Work is priced in SM-cycles and divided by the
+/// aggregate SM throughput.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuModel {
+    /// Platform name as it appears in Table 3.
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub sm_count: u32,
+    /// SM clock in GHz.
+    pub clock_ghz: f64,
+    /// Effective SM-cycles to fetch one octree node for a warp (includes
+    /// the amortized memory latency at realistic occupancy).
+    pub node_cycles: f64,
+    /// SM-cycles for one OBB–AABB intersection test.
+    pub test_cycles: f64,
+    /// Fraction of peak throughput the irregular traversal kernels sustain
+    /// (low: divergence + latency-bound pointer chasing).
+    pub occupancy: f64,
+    /// Fraction of peak the streaming leaf-node kernel sustains (high:
+    /// coherent warps, no traversal).
+    pub leaf_occupancy: f64,
+    /// SM-cycles per coherent leaf-AABB test in the streaming kernel.
+    pub leaf_test_cycles: f64,
+    /// Board power in watts (Table 3).
+    pub power_w: f64,
+}
+
+/// NVIDIA Titan V (80 SMs @ ~1.2 GHz), 156.8 W.
+pub const TITAN_V: GpuModel = GpuModel {
+    name: "NVIDIA Titan V",
+    sm_count: 80,
+    clock_ghz: 1.2,
+    node_cycles: 220.0,
+    test_cycles: 60.0,
+    occupancy: 0.15,
+    leaf_occupancy: 0.9,
+    leaf_test_cycles: 5.0,
+    power_w: 156.8,
+};
+
+/// NVIDIA Jetson TX2 integrated GPU (2 SMs / 256 CUDA cores @ ~0.85 GHz),
+/// 3.5 W.
+pub const JETSON_TX2: GpuModel = GpuModel {
+    name: "NVIDIA Jetson TX2 GPU",
+    sm_count: 2,
+    clock_ghz: 0.85,
+    node_cycles: 320.0,
+    test_cycles: 80.0,
+    occupancy: 0.15,
+    leaf_occupancy: 0.9,
+    leaf_test_cycles: 6.0,
+    power_w: 3.5,
+};
+
+/// GPU kernel variants of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GpuVariant {
+    /// Plain per-thread traversal with submission-order warps.
+    Basic,
+    /// "+ GPU optimizations": locality-grouped warps (reduces traversal
+    /// divergence) and interleaved per-warp queues (reduces memory
+    /// divergence; halves the effective node cost).
+    Optimized,
+    /// One thread per occupied leaf: no divergence, but total work scales
+    /// with the leaf count. Wins on big GPUs, loses everywhere else.
+    LeafNodes,
+}
+
+/// Wall-clock milliseconds to run `queries` OBB–octree queries.
+pub fn gpu_cd_time_ms(
+    model: &GpuModel,
+    variant: GpuVariant,
+    workload: &WorkloadStats,
+    queries: u64,
+) -> f64 {
+    // A diverged warp serializes the union of its threads' traversals; the
+    // per-query cost scales the coherent unit work by
+    // union-per-thread / per-thread-nodes (1/32 fully coherent … 1 fully
+    // diverged).
+    let unit_work =
+        |node_c: f64| workload.avg_nodes * node_c + workload.avg_tests * model.test_cycles;
+    let divergence =
+        |union_per_thread: f64| (union_per_thread / workload.avg_nodes).max(1.0 / 32.0);
+    let (per_query_cycles, occupancy) = match variant {
+        GpuVariant::Basic => (
+            unit_work(model.node_cycles) * divergence(workload.avg_warp_union_nodes_unsorted),
+            model.occupancy,
+        ),
+        GpuVariant::Optimized => (
+            // Locality warps shrink the union; interleaved queues cut the
+            // per-node memory cost by ~30%.
+            unit_work(model.node_cycles * 0.7) * divergence(workload.avg_warp_union_nodes),
+            model.occupancy,
+        ),
+        GpuVariant::LeafNodes => (
+            // Every query streams over all occupied leaves with coherent
+            // warps: no divergence, cheap tests, high occupancy.
+            workload.leaf_count * model.leaf_test_cycles,
+            model.leaf_occupancy,
+        ),
+    };
+    let aggregate_hz = model.sm_count as f64 * model.clock_ghz * 1e9 * occupancy;
+    per_query_cycles * queries as f64 / aggregate_hz * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{cpu_cd_time_ms, CpuVariant, CORTEX_A57, I7_4771};
+    use crate::workload::measure_workload;
+    use mp_octree::{Scene, SceneConfig};
+
+    fn workload() -> WorkloadStats {
+        measure_workload(&Scene::random(SceneConfig::paper(), 0).octree(), 2048, 7)
+    }
+
+    const Q: u64 = 1 << 20;
+
+    #[test]
+    fn titan_beats_tx2_by_a_large_factor() {
+        let w = workload();
+        let titan = gpu_cd_time_ms(&TITAN_V, GpuVariant::Basic, &w, Q);
+        let tx2 = gpu_cd_time_ms(&JETSON_TX2, GpuVariant::Basic, &w, Q);
+        // Table 3: 24 ms vs 5833 ms (≈240×); our model separates them by
+        // the SM/clock ratio (≈56×) at minimum.
+        assert!(tx2 / titan > 30.0, "ratio {}", tx2 / titan);
+    }
+
+    #[test]
+    fn optimizations_help_about_2x() {
+        // Table 3: Titan V 24 -> 12 ms with the GPU optimizations.
+        let w = workload();
+        let basic = gpu_cd_time_ms(&TITAN_V, GpuVariant::Basic, &w, Q);
+        let opt = gpu_cd_time_ms(&TITAN_V, GpuVariant::Optimized, &w, Q);
+        let ratio = basic / opt;
+        assert!((1.3..=3.5).contains(&ratio), "speedup {ratio}");
+    }
+
+    #[test]
+    fn leaf_kernel_helps_gpu_hurts_cpu() {
+        // Table 3's crossover: leaf-nodes is the fastest Titan V variant
+        // but the slowest CPU variant.
+        let w = workload();
+        let titan_opt = gpu_cd_time_ms(&TITAN_V, GpuVariant::Optimized, &w, Q);
+        let titan_leaf = gpu_cd_time_ms(&TITAN_V, GpuVariant::LeafNodes, &w, Q);
+        assert!(titan_leaf < titan_opt);
+        let i7_trav = cpu_cd_time_ms(&I7_4771, CpuVariant::Traversal, &w, Q);
+        let i7_leaf = cpu_cd_time_ms(&I7_4771, CpuVariant::LeafNodes, &w, Q);
+        assert!(i7_leaf > i7_trav);
+    }
+
+    #[test]
+    fn table3_platform_ordering_basic_kernel() {
+        // Table 3 basic-kernel order: TitanV < i7 < A57 < TX2.
+        let w = workload();
+        let titan = gpu_cd_time_ms(&TITAN_V, GpuVariant::Basic, &w, Q);
+        let i7 = cpu_cd_time_ms(&I7_4771, CpuVariant::Traversal, &w, Q);
+        let a57 = cpu_cd_time_ms(&CORTEX_A57, CpuVariant::Traversal, &w, Q);
+        let tx2 = gpu_cd_time_ms(&JETSON_TX2, GpuVariant::Basic, &w, Q);
+        assert!(titan < i7, "titan {titan} i7 {i7}");
+        assert!(i7 < a57, "i7 {i7} a57 {a57}");
+        assert!(a57 < tx2, "a57 {a57} tx2 {tx2}");
+    }
+
+    #[test]
+    fn titan_ballpark() {
+        // Table 3: 24 ms for 2^20 basic queries; accept a ~4x band.
+        let w = workload();
+        let titan = gpu_cd_time_ms(&TITAN_V, GpuVariant::Basic, &w, Q);
+        assert!((6.0..=100.0).contains(&titan), "titan {titan} ms");
+    }
+}

@@ -1,0 +1,56 @@
+//! Analytic CPU/GPU execution models — the comparison baselines of §7.5
+//! (Table 3).
+//!
+//! The paper measures OBB–octree collision detection and end-to-end motion
+//! planning on four platforms (NVIDIA Titan V, Jetson TX2, Intel i7-4771,
+//! ARM Cortex-A57). We cannot measure that hardware here, so this crate
+//! provides *first-order calibrated cost models* (DESIGN.md substitution
+//! 3): the per-query work (octree nodes visited, intersection tests,
+//! traversal divergence) is measured exactly by running the real workload
+//! through the real octree, and per-platform constants (issue rates, memory
+//! latencies, core/SM counts) convert work into time. The constants are
+//! calibrated so the *ratios* between platforms track Table 3.
+//!
+//! Three GPU kernel variants are modelled, matching §7.5:
+//! * plain per-thread OBB–octree traversal,
+//! * `+ GPU optimizations` (locality-grouped warps + interleaved per-warp
+//!   queues, reducing warp and memory divergence),
+//! * the leaf-node-parallel kernel (one thread per octree leaf).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod gpu;
+pub mod workload;
+
+pub use cpu::{cpu_cd_time_ms, CpuModel};
+pub use gpu::{gpu_cd_time_ms, GpuModel, GpuVariant};
+pub use workload::{measure_workload, WorkloadStats};
+
+/// End-to-end motion-planning runtime estimate for a baseline platform
+/// (the "Average motion planning runtime" row of Table 3).
+///
+/// `cd_ms_per_query` is the platform's OBB–octree query time; the planner
+/// workload supplies how many such queries one motion-planning query
+/// executes, plus the NN inference time on the platform's most capable
+/// device.
+pub fn motion_planning_time_ms(
+    cd_ms_per_obb_query: f64,
+    obb_queries_per_plan: f64,
+    nn_ms_per_plan: f64,
+    overhead_ms: f64,
+) -> f64 {
+    cd_ms_per_obb_query * obb_queries_per_plan + nn_ms_per_plan + overhead_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mp_time_compose() {
+        let t = motion_planning_time_ms(0.001, 1000.0, 0.2, 0.1);
+        assert!((t - 1.3).abs() < 1e-9);
+    }
+}

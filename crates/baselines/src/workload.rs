@@ -1,0 +1,205 @@
+//! Exact workload measurement: what one OBB–octree query actually does.
+
+use mp_geometry::{Mat3, Obb, Vec3};
+use mp_octree::Octree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Average per-query work of the OBB–octree kernel on a given environment,
+/// measured by running the real traversal (no timing model involved).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkloadStats {
+    /// Mean octree nodes fetched per query.
+    pub avg_nodes: f64,
+    /// Mean OBB–AABB intersection tests per query.
+    pub avg_tests: f64,
+    /// Mean *union* of nodes fetched across a locality-grouped warp of 32
+    /// queries, per thread (captures divergence after the paper's warp
+    /// formation optimization).
+    pub avg_warp_union_nodes: f64,
+    /// Mean union of nodes across an arbitrarily-ordered warp (divergence
+    /// without the locality optimization).
+    pub avg_warp_union_nodes_unsorted: f64,
+    /// Occupied leaf boxes in the environment (work unit of the leaf-node
+    /// kernel).
+    pub leaf_count: f64,
+    /// Fraction of queries that collide.
+    pub collision_rate: f64,
+}
+
+/// Generates the random link-sized OBBs used to measure the workload
+/// (Jaco2-scale link boxes at random poses, as in §7.5's 2^20-query
+/// benchmark).
+pub fn random_link_obb(rng: &mut StdRng) -> Obb<f32> {
+    let c = Vec3::new(
+        rng.gen_range(-0.9..0.9),
+        rng.gen_range(-0.9..0.9),
+        rng.gen_range(-0.9..0.9),
+    );
+    let h = Vec3::new(
+        rng.gen_range(0.03..0.28),
+        rng.gen_range(0.03..0.09),
+        rng.gen_range(0.03..0.09),
+    );
+    let r = Mat3::rotation_z(rng.gen_range(-3.0..3.0)) * Mat3::rotation_y(rng.gen_range(-1.5..1.5));
+    Obb::new(c, h, r)
+}
+
+/// Measures [`WorkloadStats`] over `samples` random queries.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn measure_workload(octree: &Octree, samples: usize, seed: u64) -> WorkloadStats {
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes = 0u64;
+    let mut tests = 0u64;
+    let mut collisions = 0u64;
+    let mut per_query_nodes: Vec<Vec<u32>> = Vec::with_capacity(samples);
+    let mut centers: Vec<Vec3> = Vec::with_capacity(samples);
+
+    for _ in 0..samples {
+        let obb = random_link_obb(&mut rng);
+        centers.push(obb.center);
+        let mut visited = Vec::new();
+        let (hit, _stats) = traverse_recording(octree, &obb, &mut visited);
+        nodes += visited.len() as u64;
+        tests += count_tests(octree, &visited, &obb);
+        if hit {
+            collisions += 1;
+        }
+        per_query_nodes.push(visited);
+    }
+
+    // Warp unions: unsorted (submission order) vs locality-sorted by OBB
+    // center (the paper's warp-formation optimization).
+    let union_of = |idxs: &[usize]| -> u64 {
+        let mut set = std::collections::HashSet::new();
+        for &i in idxs {
+            set.extend(per_query_nodes[i].iter().copied());
+        }
+        set.len() as u64
+    };
+    let order_unsorted: Vec<usize> = (0..samples).collect();
+    let mut order_sorted = order_unsorted.clone();
+    order_sorted.sort_by(|&a, &b| {
+        // Morton-ish locality sort by quantized center.
+        let key = |v: Vec3| {
+            let q = |x: f32| ((x + 1.0) * 8.0) as u32;
+            morton3(q(v.x), q(v.y), q(v.z))
+        };
+        key(centers[a]).cmp(&key(centers[b]))
+    });
+    let warp_union = |order: &[usize]| -> f64 {
+        let mut total = 0u64;
+        let mut warps = 0u64;
+        for chunk in order.chunks(32) {
+            total += union_of(chunk);
+            warps += 1;
+        }
+        total as f64 / warps as f64 / 32.0
+    };
+
+    WorkloadStats {
+        avg_nodes: nodes as f64 / samples as f64,
+        avg_tests: tests as f64 / samples as f64,
+        avg_warp_union_nodes: warp_union(&order_sorted),
+        avg_warp_union_nodes_unsorted: warp_union(&order_unsorted),
+        leaf_count: octree.occupied_leaves().len() as f64,
+        collision_rate: collisions as f64 / samples as f64,
+    }
+}
+
+/// Depth-first traversal recording visited node addresses.
+fn traverse_recording(octree: &Octree, obb: &Obb<f32>, visited: &mut Vec<u32>) -> (bool, ()) {
+    let mut stack = vec![(0u32, octree.root_aabb())];
+    while let Some((addr, aabb)) = stack.pop() {
+        visited.push(addr);
+        let node = octree.node(addr);
+        for octant in 0..8 {
+            let occ = node.occupancy(octant);
+            if !occ.is_occupied() {
+                continue;
+            }
+            let oct = Octree::octant_aabb(&aabb, octant);
+            if !mp_geometry::sat::overlaps(obb, &oct) {
+                continue;
+            }
+            match occ {
+                mp_octree::Occupancy::Full => return (true, ()),
+                mp_octree::Occupancy::Partial => {
+                    stack.push((node.child_address(octant).unwrap(), oct));
+                }
+                mp_octree::Occupancy::Empty => unreachable!(),
+            }
+        }
+    }
+    (false, ())
+}
+
+/// Counts intersection tests for the recorded node set.
+fn count_tests(octree: &Octree, visited: &[u32], _obb: &Obb<f32>) -> u64 {
+    visited
+        .iter()
+        .map(|&addr| octree.node(addr).occupied_octants().count() as u64)
+        .sum()
+}
+
+/// Interleaves the low 10 bits of three coordinates (Morton code).
+fn morton3(x: u32, y: u32, z: u32) -> u32 {
+    let spread = |mut v: u32| {
+        v &= 0x3FF;
+        v = (v | (v << 16)) & 0x030000FF;
+        v = (v | (v << 8)) & 0x0300F00F;
+        v = (v | (v << 4)) & 0x030C30C3;
+        v = (v | (v << 2)) & 0x09249249;
+        v
+    };
+    spread(x) | (spread(y) << 1) | (spread(z) << 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_octree::{Scene, SceneConfig};
+
+    #[test]
+    fn workload_is_measured_sanely() {
+        let tree = Scene::random(SceneConfig::paper(), 0).octree();
+        let w = measure_workload(&tree, 512, 1);
+        assert!(w.avg_nodes >= 1.0);
+        assert!(w.avg_tests >= w.avg_nodes - 1.0);
+        assert!(w.leaf_count > 0.0);
+        assert!((0.0..=1.0).contains(&w.collision_rate));
+    }
+
+    #[test]
+    fn locality_sorting_reduces_warp_divergence() {
+        let tree = Scene::random(SceneConfig::with_obstacles(9), 3).octree();
+        let w = measure_workload(&tree, 2048, 2);
+        assert!(
+            w.avg_warp_union_nodes <= w.avg_warp_union_nodes_unsorted + 1e-9,
+            "sorted {} vs unsorted {}",
+            w.avg_warp_union_nodes,
+            w.avg_warp_union_nodes_unsorted
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let tree = Scene::random(SceneConfig::paper(), 5).octree();
+        assert_eq!(
+            measure_workload(&tree, 128, 9),
+            measure_workload(&tree, 128, 9)
+        );
+    }
+
+    #[test]
+    fn morton_orders_neighbors_together() {
+        assert!(morton3(0, 0, 0) < morton3(1, 1, 1));
+        assert_eq!(morton3(1, 0, 0), 1);
+        assert_eq!(morton3(0, 1, 0), 2);
+        assert_eq!(morton3(0, 0, 1), 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Criterion benches: one group per paper artifact, timing the simulation
+//! that regenerates it, plus microbenchmarks of the core kernels.
+//!
+//! Run with `cargo bench -p mp-bench`. Each experiment's report is printed
+//! once before timing so a bench run regenerates every table/figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mp_bench::experiments::*;
+use mp_bench::Scale;
+
+fn scale() -> Scale {
+    Scale::from_env()
+}
+
+macro_rules! experiment_bench {
+    ($fn_name:ident, $module:ident, $samples:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            // Print the regenerated artifact once.
+            println!("{}", $module::run(scale()));
+            let mut g = c.benchmark_group("experiments");
+            g.sample_size($samples);
+            g.bench_function(stringify!($module), |b| {
+                b.iter(|| black_box($module::data(black_box(scale()))))
+            });
+            g.finish();
+        }
+    };
+}
+
+experiment_bench!(bench_fig01b, fig01b, 10);
+experiment_bench!(bench_fig07, fig07, 10);
+experiment_bench!(bench_fig08, fig08, 10);
+experiment_bench!(bench_fig15, fig15, 10);
+experiment_bench!(bench_fig16, fig16, 10);
+experiment_bench!(bench_fig17, fig17, 10);
+experiment_bench!(bench_fig18, fig18, 10);
+experiment_bench!(bench_fig19, fig19, 10);
+experiment_bench!(bench_fig20, fig20, 10);
+experiment_bench!(bench_table1, table1, 10);
+experiment_bench!(bench_table3, table3, 10);
+experiment_bench!(bench_codacc, codacc, 10);
+experiment_bench!(bench_planners, planners, 10);
+
+fn bench_ablation(c: &mut Criterion) {
+    println!("{}", ablation::run(scale()));
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("ablation_stage_split", |b| {
+        b.iter(|| black_box(ablation::stage_split_data(black_box(scale()))))
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    println!("{}", table2::run(scale()));
+    let mut g = c.benchmark_group("experiments");
+    g.bench_function("table2", |b| b.iter(|| black_box(table2::data())));
+    g.finish();
+}
+
+/// Microbenchmarks of the hot simulation kernels.
+fn bench_kernels(c: &mut Criterion) {
+    use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig};
+    use mp_geometry::sat::sat_first_separating;
+    use mp_geometry::{Aabb, Mat3, Obb, Vec3};
+    use mp_octree::{Scene, SceneConfig};
+    use mp_robot::{fk, RobotModel, TrigMode};
+    use mp_sim::IuKind;
+    use mpaccel_core::oocd::{run_oocd, OocdConfig};
+
+    let obb = Obb::new(
+        Vec3::new(0.3, 0.1, -0.2),
+        Vec3::new(0.25, 0.06, 0.06),
+        Mat3::rotation_z(0.7) * Mat3::rotation_y(0.3),
+    )
+    .quantize();
+    let aabb = Aabb::new(Vec3::new(0.25, 0.0, 0.0), Vec3::splat(0.25)).quantize();
+    let cfg = CascadeConfig::proposed();
+    let tree = Scene::random(SceneConfig::paper(), 0).octree();
+    let robot = RobotModel::jaco2();
+    let home = robot.home();
+    let oocd_cfg = OocdConfig::new(IuKind::MultiCycle);
+
+    let mut g = c.benchmark_group("kernels");
+    g.bench_function("sat_15_axes", |b| {
+        b.iter(|| black_box(sat_first_separating(black_box(&obb), black_box(&aabb))))
+    });
+    g.bench_function("cascaded_intersection", |b| {
+        b.iter(|| black_box(cascaded_obb_aabb(black_box(&obb), black_box(&aabb), &cfg)))
+    });
+    g.bench_function("oocd_query", |b| {
+        b.iter(|| black_box(run_oocd(black_box(&tree), black_box(&obb), &oocd_cfg)))
+    });
+    g.bench_function("forward_kinematics_obbs", |b| {
+        b.iter(|| black_box(fk::link_obbs(&robot, black_box(&home), TrigMode::Hardware)))
+    });
+    g.bench_function("octree_build", |b| {
+        let scene = Scene::random(SceneConfig::paper(), 3);
+        b.iter(|| black_box(scene.octree()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_table2,
+    bench_fig01b,
+    bench_fig07,
+    bench_fig08,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17,
+    bench_fig18,
+    bench_table1,
+    bench_fig19,
+    bench_fig20,
+    bench_table3,
+    bench_codacc,
+    bench_planners,
+    bench_ablation,
+);
+criterion_main!(benches);

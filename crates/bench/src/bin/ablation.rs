@@ -1,0 +1,7 @@
+//! Regenerates the ablation study.
+//! Usage: `cargo run -p mp-bench --release --bin ablation`
+
+fn main() {
+    let scale = mp_bench::Scale::from_env();
+    println!("{}", mp_bench::experiments::ablation::run(scale));
+}

@@ -1,0 +1,38 @@
+//! Regenerates every table and figure in one run (the per-experiment
+//! binaries are faster for iterating on a single artifact).
+//!
+//! Set `MPACCEL_CSV_DIR=<dir>` to additionally write each report as CSV
+//! for downstream plotting.
+
+use mp_bench::Report;
+
+fn emit(name: &str, report: Report) {
+    println!("{report}");
+    if let Ok(dir) = std::env::var("MPACCEL_CSV_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, report.to_csv())) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+fn main() {
+    let scale = mp_bench::Scale::from_env();
+    println!("MPAccel reproduction — full evaluation at {scale:?} scale\n");
+    use mp_bench::experiments as e;
+    emit("fig01b", e::fig01b::run(scale));
+    emit("fig07", e::fig07::run(scale));
+    emit("fig08", e::fig08::run(scale));
+    emit("fig15", e::fig15::run(scale));
+    emit("fig16", e::fig16::run(scale));
+    emit("fig17", e::fig17::run(scale));
+    emit("fig18", e::fig18::run(scale));
+    emit("table1", e::table1::run(scale));
+    emit("table2", e::table2::run(scale));
+    emit("fig19", e::fig19::run(scale));
+    emit("fig20", e::fig20::run(scale));
+    emit("table3", e::table3::run(scale));
+    emit("codacc", e::codacc::run(scale));
+    emit("ablation", e::ablation::run(scale));
+    emit("planners", e::planners::run(scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the codacc study.
+//! Usage: `cargo run -p mp-bench --release --bin codacc`
+
+fn main() {
+    let scale = mp_bench::Scale::from_env();
+    println!("{}", mp_bench::experiments::codacc::run(scale));
+}

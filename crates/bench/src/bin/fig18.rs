@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig18 evaluation artifact.
+//! Usage: `cargo run -p mp-bench --release --bin fig18`
+//! (set `MPACCEL_BENCH_SCALE=full` for paper-scale workloads).
+
+fn main() {
+    let scale = mp_bench::Scale::from_env();
+    println!("{}", mp_bench::experiments::fig18::run(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig20 evaluation artifact.
+//! Usage: `cargo run -p mp-bench --release --bin fig20`
+//! (set `MPACCEL_BENCH_SCALE=full` for paper-scale workloads).
+
+fn main() {
+    let scale = mp_bench::Scale::from_env();
+    println!("{}", mp_bench::experiments::fig20::run(scale));
+}

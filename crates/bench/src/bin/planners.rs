@@ -1,0 +1,7 @@
+//! Regenerates the planner comparison study.
+//! Usage: `cargo run -p mp-bench --release --bin planners`
+
+fn main() {
+    let scale = mp_bench::Scale::from_env();
+    println!("{}", mp_bench::experiments::planners::run(scale));
+}

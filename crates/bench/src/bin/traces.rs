@@ -1,0 +1,65 @@
+//! Trace generation and replay — the artifact's A.3/A.4 workflow: generate
+//! MPNet traces once (expensive planning), store them as text, and replay
+//! them on the accelerator models any number of times.
+//!
+//! ```text
+//! cargo run -p mp-bench --release --bin traces [out-dir]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use mp_bench::workloads::{BenchWorkload, Scale};
+use mp_robot::RobotModel;
+use mpaccel_core::mpaccel::{MpAccelSystem, SystemConfig};
+use mpaccel_core::trace::PlannerTrace;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/mpnet_traces"));
+    let scale = Scale::from_env();
+    let robot = RobotModel::baxter();
+
+    // 1. Generate (or reuse) the planner workload.
+    println!("generating MPNet traces at {scale:?} scale…");
+    let w = BenchWorkload::cached(robot.clone(), scale);
+    fs::create_dir_all(&out_dir).expect("create trace directory");
+
+    // 2. Store every trace in the text format.
+    let mut paths = Vec::new();
+    for (i, (scene, trace)) in w.traces.iter().enumerate() {
+        let path = out_dir.join(format!("bench{scene}_query{i}.trace"));
+        fs::write(&path, trace.to_text()).expect("write trace");
+        paths.push((path, *scene));
+    }
+    println!("wrote {} traces to {}", paths.len(), out_dir.display());
+
+    // 3. Reload and replay on the headline configuration, verifying the
+    //    round trip reproduces the in-memory replay exactly.
+    let mut total_ms = 0.0;
+    let mut mismatches = 0;
+    for ((path, scene), (_, original)) in paths.iter().zip(&w.traces) {
+        let text = fs::read_to_string(path).expect("read trace");
+        let loaded = PlannerTrace::from_text(&text).expect("parse trace");
+        let sys = MpAccelSystem::new(
+            robot.clone(),
+            w.octree(*scene),
+            SystemConfig::paper_default(),
+        );
+        let a = sys.run_trace(&loaded);
+        let b = sys.run_trace(original);
+        total_ms += a.total_ms;
+        if a.cd_queries != b.cd_queries {
+            mismatches += 1;
+        }
+    }
+    println!(
+        "replayed {} traces: cumulative {:.3} ms on MPAccel 16x4 mc; {} replay mismatches",
+        paths.len(),
+        total_ms,
+        mismatches
+    );
+    assert_eq!(mismatches, 0, "serialized traces must replay identically");
+}

@@ -1,0 +1,143 @@
+//! Shared machinery: replaying CD batches through SAS under different
+//! scheduler configurations and CDU models.
+
+use mp_collision::SoftwareChecker;
+use mp_sim::CecduConfig;
+use mpaccel_core::cecdu::CecduSim;
+use mpaccel_core::sas::{run_sas, CduModel, CecduCdu, IdealCdu, SasConfig};
+
+use crate::workloads::BenchWorkload;
+
+/// Which collision-detection unit backs the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CduKind {
+    /// Idealized 1-cycle CDU over the software oracle (§3 limit study).
+    Ideal,
+    /// Full cycle-level CECDU model.
+    Cecdu(CecduConfig),
+}
+
+/// Aggregate result of replaying a workload's batches through SAS.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SasAggregate {
+    /// Total scheduler cycles across all batches.
+    pub cycles: u64,
+    /// Total CD queries dispatched (the paper's energy proxy, §7.1).
+    pub queries: u64,
+    /// Total multiplications (fine-grained energy proxy).
+    pub mults: u64,
+}
+
+impl SasAggregate {
+    /// Speedup of this run versus a baseline (cycles ratio).
+    pub fn speedup_vs(&self, baseline: &SasAggregate) -> f64 {
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Energy (CD-test count) normalized to a baseline.
+    pub fn energy_vs(&self, baseline: &SasAggregate) -> f64 {
+        self.queries as f64 / baseline.queries.max(1) as f64
+    }
+}
+
+/// Replays every batch of the workload through SAS with the given
+/// scheduler configuration and CDU kind, summing cycles and queries.
+///
+/// `max_batches` bounds the replay (0 = no bound) so quick-scale runs stay
+/// fast; the same bound must be used for every configuration being
+/// compared.
+pub fn replay(
+    workload: &BenchWorkload,
+    sas: &SasConfig,
+    cdu: CduKind,
+    max_batches: usize,
+) -> SasAggregate {
+    replay_with_mode(workload, sas, cdu, max_batches, None)
+}
+
+/// Like [`replay`], optionally overriding every batch's function mode
+/// (the §3 limit study uses Complete semantics to isolate scheduling
+/// redundancy from function-mode early stops).
+pub fn replay_with_mode(
+    workload: &BenchWorkload,
+    sas: &SasConfig,
+    cdu: CduKind,
+    max_batches: usize,
+    mode_override: Option<mpaccel_core::sas::FunctionMode>,
+) -> SasAggregate {
+    let mut agg = SasAggregate::default();
+    let limit = if max_batches == 0 {
+        workload.batches.len()
+    } else {
+        max_batches.min(workload.batches.len())
+    };
+    for batch in &workload.batches[..limit] {
+        let octree = workload.octree(batch.scene);
+        let mode = mode_override.unwrap_or(batch.mode);
+        let r = match cdu {
+            CduKind::Ideal => {
+                let checker = SoftwareChecker::new(workload.robot.clone(), octree);
+                let mut model = IdealCdu::new(checker);
+                run_sas(&batch.motions, mode, sas, &mut model)
+            }
+            CduKind::Cecdu(cfg) => {
+                let sim = CecduSim::new(workload.robot.clone(), octree, cfg);
+                let mut model = CecduCdu::new(sim);
+                run_sas(&batch.motions, mode, sas, &mut model)
+            }
+        };
+        agg.cycles += r.cycles;
+        agg.queries += r.queries;
+        agg.mults += r.ops.mults;
+    }
+    agg
+}
+
+/// Runs one batch through a CDU model (helper for Criterion micro benches).
+pub fn run_one_batch(
+    workload: &BenchWorkload,
+    batch_index: usize,
+    sas: &SasConfig,
+    model: &mut impl CduModel,
+) -> u64 {
+    let b = &workload.batches[batch_index % workload.batches.len()];
+    run_sas(&b.motions, b.mode, sas, model).cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Scale;
+    use mp_robot::RobotModel;
+    use mp_sim::IuKind;
+
+    #[test]
+    fn replay_aggregates_consistently() {
+        let w = BenchWorkload::cached(RobotModel::jaco2(), Scale::Quick);
+        let seq = replay(&w, &SasConfig::sequential(), CduKind::Ideal, 10);
+        assert!(seq.cycles > 0 && seq.queries > 0);
+        let np = replay(
+            &w,
+            &SasConfig::naive_parallel(8).idealized(),
+            CduKind::Ideal,
+            10,
+        );
+        assert!(np.speedup_vs(&seq) > 1.0);
+        assert!(np.energy_vs(&seq) >= 1.0);
+    }
+
+    #[test]
+    fn cecdu_replay_has_latency() {
+        let w = BenchWorkload::cached(RobotModel::jaco2(), Scale::Quick);
+        let hw = replay(
+            &w,
+            &SasConfig::sequential(),
+            CduKind::Cecdu(CecduConfig::new(4, IuKind::MultiCycle)),
+            4,
+        );
+        let ideal = replay(&w, &SasConfig::sequential(), CduKind::Ideal, 4);
+        assert_eq!(hw.queries, ideal.queries); // same schedule, same work
+        assert!(hw.cycles > ideal.cycles); // but real latency
+        assert!(hw.mults > 0);
+    }
+}

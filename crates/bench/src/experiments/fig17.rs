@@ -1,0 +1,148 @@
+//! Fig 17 + §7.2.1: sequential vs parallel collision detection and the
+//! effect of the cascade's sphere filters, over the real OBB–AABB test
+//! population.
+
+use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig};
+use mp_geometry::sat::sat_first_separating;
+use mp_robot::RobotModel;
+
+use crate::report::{f2, Report};
+use crate::workloads::{collect_test_pairs, BenchWorkload, Scale};
+
+/// Aggregate cost of one execution strategy over the population.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StrategyCost {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total multiplications.
+    pub mults: u64,
+}
+
+/// All strategies measured for Fig 17 (in display order).
+#[derive(Clone, Debug, Default)]
+pub struct Fig17Data {
+    /// One axis per cycle, early exit, no filters.
+    pub sequential: StrategyCost,
+    /// Staged 6-5-4 SAT, 2 cycles/stage (multi-cycle unit), no filters.
+    pub parallel_mc: StrategyCost,
+    /// Staged SAT on the pipelined unit (initiation interval 1), no
+    /// filters.
+    pub parallel_pipelined: StrategyCost,
+    /// Multi-cycle cascade with only the bounding-sphere filter.
+    pub bounding_only: StrategyCost,
+    /// The proposed cascade (both filters), multi-cycle.
+    pub proposed: StrategyCost,
+    /// Tests in the population.
+    pub tests: u64,
+}
+
+/// Measures the strategies over the traversal-generated test population.
+pub fn data(scale: Scale) -> Fig17Data {
+    let w = BenchWorkload::cached(RobotModel::jaco2(), Scale::Quick);
+    let mut d = Fig17Data::default();
+    let per_scene = scale.cd_samples() / w.scenes.len();
+    for (si, scene) in w.scenes.iter().enumerate() {
+        let tree = scene.octree();
+        for (obb, aabb) in collect_test_pairs(&tree, per_scene, 77 + si as u64) {
+            let (fo, fa) = (obb.quantize(), aabb.quantize());
+            d.tests += 1;
+
+            let seq = sat_first_separating(&fo, &fa);
+            d.sequential.cycles += seq.axes_tested as u64;
+            d.sequential.mults += seq.mults as u64;
+
+            let nof = cascaded_obb_aabb(&fo, &fa, &CascadeConfig::without_filters());
+            d.parallel_mc.cycles += 2 * nof.stages_executed as u64;
+            d.parallel_mc.mults += nof.mults as u64;
+            d.parallel_pipelined.cycles += 1; // II = 1
+            d.parallel_pipelined.mults += nof.mults as u64;
+
+            let bo = cascaded_obb_aabb(&fo, &fa, &CascadeConfig::bounding_only());
+            d.bounding_only.cycles += cascade_mc_cycles(bo.stages_executed, true);
+            d.bounding_only.mults += bo.mults as u64;
+
+            let prop = cascaded_obb_aabb(&fo, &fa, &CascadeConfig::proposed());
+            d.proposed.cycles += cascade_mc_cycles(prop.stages_executed, true);
+            d.proposed.mults += prop.mults as u64;
+        }
+    }
+    d
+}
+
+/// Multi-cycle cascade cycle count: 1 cycle for the sphere stage (when
+/// present) + 2 per executed SAT stage.
+fn cascade_mc_cycles(stages_executed: u32, sphere_stage: bool) -> u64 {
+    if sphere_stage {
+        let sat_stages = stages_executed.saturating_sub(1);
+        (1 + 2 * sat_stages) as u64
+    } else {
+        (2 * stages_executed) as u64
+    }
+}
+
+/// Renders Fig 17 with the §7.2.1 headline ratios.
+pub fn run(scale: Scale) -> Report {
+    let d = data(scale);
+    let base = d.sequential;
+    let mut r = Report::new("Figure 17 / §7.2.1: sequential vs parallel collision detection");
+    r.columns(&[
+        "strategy",
+        "speedup vs sequential",
+        "computation vs sequential",
+    ]);
+    let mut add = |name: &str, c: StrategyCost| {
+        let speedup = base.cycles as f64 / c.cycles.max(1) as f64;
+        let comp = c.mults as f64 / base.mults.max(1) as f64;
+        r.row(&[name.to_string(), f2(speedup), f2(comp)]);
+        (speedup, comp)
+    };
+    add("sequential SAT (baseline)", d.sequential);
+    let (s_mc, c_mc) = add("parallel SAT, multi-cycle, no filters", d.parallel_mc);
+    let (s_p, _) = add("parallel SAT, pipelined, no filters", d.parallel_pipelined);
+    add("+ bounding-sphere filter (mc)", d.bounding_only);
+    let (s_prop, c_prop) = add("+ both filters — proposed (mc)", d.proposed);
+    r.note(format!(
+        "paper: parallel-no-filters = +46% computation, 2.52x (mc) / 1.77x (p, per-unit) speedup; measured: {:+.0}% computation, {:.2}x / {:.2}x",
+        (c_mc - 1.0) * 100.0,
+        s_mc,
+        s_p / s_mc.max(1e-9), // pipelined gain relative to mc staging
+    ));
+    r.note(format!(
+        "paper: both filters ≈ 4.1x speedup with 61% computation savings vs sequential; measured: {:.2}x speedup, {:.0}% savings",
+        s_prop,
+        (1.0 - c_prop) * 100.0,
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_721_shapes() {
+        let d = data(Scale::Quick);
+        let base = d.sequential;
+        // Parallel (staged, no filters) is faster but costs more mults.
+        assert!(d.parallel_mc.cycles < base.cycles);
+        let comp = d.parallel_mc.mults as f64 / base.mults as f64;
+        assert!((1.1..=2.2).contains(&comp), "computation overhead {comp}");
+        // The bounding-sphere filter claws back most of the overhead
+        // (paper: +1.3% vs sequential).
+        let bo = d.bounding_only.mults as f64 / base.mults as f64;
+        assert!(bo < comp, "bounding filter should reduce mults");
+        // The proposed cascade *saves* computation vs sequential
+        // (paper: 61% savings) and is much faster (paper: ~4.1x).
+        let prop_comp = d.proposed.mults as f64 / base.mults as f64;
+        assert!(prop_comp < 0.85, "proposed computation {prop_comp}");
+        let speedup = base.cycles as f64 / d.proposed.cycles as f64;
+        assert!(speedup > 2.0, "proposed speedup {speedup}");
+        // Inscribed filter helps colliding cases beyond bounding-only.
+        assert!(d.proposed.mults <= d.bounding_only.mults);
+    }
+
+    #[test]
+    fn report_has_five_strategies() {
+        assert_eq!(run(Scale::Quick).rows().len(), 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Fig 18: effect of environmental complexity — (a) CECDU runtime/energy
+//! vs number of obstacles, (b) exit-cycle breakdown of the cascaded test.
+
+use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig};
+use mp_octree::{Scene, SceneConfig};
+use mp_robot::RobotModel;
+use mp_sim::{CecduConfig, IuKind};
+use mpaccel_core::cecdu::CecduSim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{f2, Report};
+use crate::workloads::{collect_test_pairs, Scale};
+
+/// Obstacle counts swept (the paper doubles the count repeatedly).
+pub const OBSTACLE_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+/// Per-environment measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnvPoint {
+    /// Obstacles in the scene.
+    pub obstacles: usize,
+    /// Mean CECDU cycles per robot-pose query.
+    pub avg_cycles: f64,
+    /// Mean multiplications per pose query.
+    pub avg_mults: f64,
+    /// Exit-cycle distribution of the cascaded test (cycle 1..=4 shares).
+    pub exit_shares: [f64; 4],
+}
+
+/// Runs the sweep.
+pub fn data(scale: Scale) -> Vec<EnvPoint> {
+    let robot = RobotModel::jaco2();
+    let poses = scale.cd_samples() / 4;
+    let mut rng = StdRng::seed_from_u64(18);
+    OBSTACLE_COUNTS
+        .iter()
+        .map(|&n| {
+            let scene = Scene::random(SceneConfig::with_obstacles(n), 180 + n as u64);
+            let tree = scene.octree();
+            let cecdu = CecduSim::new(
+                robot.clone(),
+                tree.clone(),
+                CecduConfig::new(4, IuKind::MultiCycle),
+            );
+            let mut cycles = 0u64;
+            let mut mults = 0u64;
+            for _ in 0..poses {
+                let pose = robot.sample_config(&mut rng);
+                let out = cecdu.check_pose(&pose);
+                cycles += out.cycles;
+                mults += out.ops.mults;
+            }
+            // Exit-cycle breakdown over the traversal test population.
+            let mut exits = [0u64; 4];
+            let mut total = 0u64;
+            for (obb, aabb) in collect_test_pairs(&tree, 400, 7 + n as u64) {
+                let out = cascaded_obb_aabb(
+                    &obb.quantize(),
+                    &aabb.quantize(),
+                    &CascadeConfig::proposed(),
+                );
+                exits[(out.exit.exit_cycle() - 1) as usize] += 1;
+                total += 1;
+            }
+            let mut exit_shares = [0.0; 4];
+            for i in 0..4 {
+                exit_shares[i] = exits[i] as f64 / total.max(1) as f64;
+            }
+            EnvPoint {
+                obstacles: n,
+                avg_cycles: cycles as f64 / poses as f64,
+                avg_mults: mults as f64 / poses as f64,
+                exit_shares,
+            }
+        })
+        .collect()
+}
+
+/// Renders both panels.
+pub fn run(scale: Scale) -> Report {
+    let d = data(scale);
+    let mut r =
+        Report::new("Figure 18: environmental complexity vs CECDU cost and cascade exit cycles");
+    r.note("paper: runtime grows ~50% per obstacle doubling; cycle-1 filtering stays effective");
+    r.columns(&[
+        "obstacles",
+        "avg cycles/pose",
+        "avg mults/pose",
+        "exit cyc1",
+        "exit cyc2",
+        "exit cyc3",
+        "exit cyc4",
+    ]);
+    for p in &d {
+        r.row(&[
+            p.obstacles.to_string(),
+            f2(p.avg_cycles),
+            f2(p.avg_mults),
+            f2(p.exit_shares[0] * 100.0) + "%",
+            f2(p.exit_shares[1] * 100.0) + "%",
+            f2(p.exit_shares[2] * 100.0) + "%",
+            f2(p.exit_shares[3] * 100.0) + "%",
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_grows_with_clutter() {
+        let d = data(Scale::Quick);
+        assert!(
+            d[0].avg_cycles < d[3].avg_cycles,
+            "{} !< {}",
+            d[0].avg_cycles,
+            d[3].avg_cycles
+        );
+        assert!(d[0].avg_mults < d[3].avg_mults);
+        // Growth per doubling is moderate (paper: ~1.5x), not explosive.
+        for w in d.windows(2) {
+            let g = w[1].avg_cycles / w[0].avg_cycles;
+            assert!((0.9..=3.0).contains(&g), "growth {g}");
+        }
+    }
+
+    #[test]
+    fn cycle1_filtering_dominates_across_complexity() {
+        // Fig 18b: the first cycle (sphere filters) resolves most tests in
+        // every environment.
+        for p in data(Scale::Quick) {
+            assert!(
+                p.exit_shares[0] > 0.4,
+                "cycle-1 share {} at {} obstacles",
+                p.exit_shares[0],
+                p.obstacles
+            );
+            let sum: f64 = p.exit_shares.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Fig 20: motion-planning runtime and performance-per-watt-per-area for
+//! the eight MPAccel configurations (`X_Y_mc/p`).
+
+use mp_robot::RobotModel;
+use mp_sim::{CecduConfig, IuKind, MpaccelConfig};
+use mpaccel_core::mpaccel::{MpAccelSystem, SystemConfig};
+
+use crate::report::{f2, f3, Report};
+use crate::workloads::{BenchWorkload, Scale};
+
+/// The eight configurations of Fig 20, in plot order.
+pub fn configs() -> Vec<MpaccelConfig> {
+    let mut out = Vec::new();
+    for (cecdus, oocds, iu) in [
+        (8, 4, IuKind::MultiCycle),
+        (16, 4, IuKind::MultiCycle),
+        (8, 4, IuKind::Pipelined),
+        (16, 4, IuKind::Pipelined),
+        (8, 1, IuKind::MultiCycle),
+        (16, 1, IuKind::MultiCycle),
+        (8, 1, IuKind::Pipelined),
+        (16, 1, IuKind::Pipelined),
+    ] {
+        out.push(MpaccelConfig::new(cecdus, CecduConfig::new(oocds, iu)));
+    }
+    out
+}
+
+/// One configuration's measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigPoint {
+    /// Fig 20 label (`16_4_mc` …).
+    pub label: String,
+    /// Mean per-query runtime in ms.
+    pub avg_ms: f64,
+    /// Max per-query runtime in ms.
+    pub max_ms: f64,
+    /// Queries / (second × watt × mm²).
+    pub perf: f64,
+}
+
+/// Runs all configurations over the workload.
+pub fn data(scale: Scale) -> Vec<ConfigPoint> {
+    let robot = RobotModel::baxter();
+    let w = BenchWorkload::cached(robot.clone(), scale);
+    let max_traces = match scale {
+        Scale::Quick => 4,
+        Scale::Full => 60,
+    };
+    let traces: Vec<_> = w.traces.iter().take(max_traces).collect();
+    configs()
+        .into_iter()
+        .map(|cfg| {
+            let mut times = Vec::new();
+            for (si, trace) in &traces {
+                let sys =
+                    MpAccelSystem::new(robot.clone(), w.octree(*si), SystemConfig::with_accel(cfg));
+                times.push(sys.run_trace(trace).total_ms);
+            }
+            let total_s: f64 = times.iter().sum::<f64>() / 1e3;
+            let avg_ms = times.iter().sum::<f64>() / times.len().max(1) as f64;
+            let max_ms = times.iter().copied().fold(0.0, f64::max);
+            ConfigPoint {
+                label: cfg.label(),
+                avg_ms,
+                max_ms,
+                perf: cfg.perf_metric(times.len() as u64, total_s.max(1e-12)),
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig 20.
+pub fn run(scale: Scale) -> Report {
+    let d = data(scale);
+    let mut r =
+        Report::new("Figure 20: MPAccel configurations — runtime and queries/(s x W x mm^2)");
+    r.note("labels: <CECDUs>_<OOCDs per CECDU>_<multi-cycle|pipelined>");
+    r.columns(&["config", "avg (ms)", "max (ms)", "perf (q/(s*W*mm^2))"]);
+    for p in &d {
+        r.row(&[p.label.clone(), f3(p.avg_ms), f3(p.max_ms), f2(p.perf)]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_count_and_labels() {
+        let cfgs = configs();
+        assert_eq!(cfgs.len(), 8);
+        assert!(cfgs.iter().any(|c| c.label() == "16_4_mc"));
+        assert!(cfgs.iter().any(|c| c.label() == "8_1_p"));
+    }
+
+    #[test]
+    fn fig20_shapes() {
+        let d = data(Scale::Quick);
+        let get = |l: &str| d.iter().find(|p| p.label == l).unwrap();
+        // More CECDUs -> faster (same OOCD config).
+        assert!(get("16_4_mc").avg_ms <= get("8_4_mc").avg_ms * 1.02);
+        // 4-OOCD CECDUs beat 1-OOCD CECDUs on runtime.
+        assert!(get("16_4_mc").avg_ms < get("16_1_mc").avg_ms);
+        // Every config stays within the real-time budget on this workload.
+        for p in &d {
+            assert!(p.avg_ms < 2.0, "{} avg {} ms", p.label, p.avg_ms);
+            assert!(p.perf > 0.0);
+        }
+        // Perf-per-area-watt favours smaller configs when speedup is
+        // sublinear: 8_4_mc should beat 16_4_mc on the metric, as in the
+        // paper's right axis.
+        assert!(get("8_4_mc").perf > get("16_4_mc").perf * 0.8);
+    }
+}

@@ -1,0 +1,136 @@
+//! Table 1: CECDU collision-detection latency, area, and power for the
+//! four configurations ({1, 4} intersection units × {multi-cycle,
+//! pipelined}) on the Jaco2 arm.
+
+use mp_octree::benchmark_scenes;
+use mp_robot::RobotModel;
+use mp_sim::{CecduConfig, IuKind};
+use mpaccel_core::cecdu::CecduSim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{f2, Report};
+use crate::workloads::Scale;
+
+/// One Table 1 column.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Table1Entry {
+    /// OOCDs per CECDU (1 or 4).
+    pub oocds: usize,
+    /// Intersection-unit kind.
+    pub iu: IuKind,
+    /// Mean pose-query latency in cycles.
+    pub latency_cycles: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// Paper values for the latency row (for side-by-side printing).
+pub const PAPER_LATENCY: [(usize, &str, f64); 4] = [
+    (1, "mc", 154.4),
+    (1, "p", 137.5),
+    (4, "mc", 54.8),
+    (4, "p", 46.3),
+];
+
+/// Measures the four configurations.
+pub fn data(scale: Scale) -> Vec<Table1Entry> {
+    let robot = RobotModel::jaco2();
+    let scenes: Vec<_> = benchmark_scenes().into_iter().take(5).collect();
+    let poses_per_scene = scale.cd_samples() / scenes.len();
+    let mut out = Vec::new();
+    for (oocds, iu) in [
+        (1, IuKind::MultiCycle),
+        (1, IuKind::Pipelined),
+        (4, IuKind::MultiCycle),
+        (4, IuKind::Pipelined),
+    ] {
+        let cfg = CecduConfig::new(oocds, iu);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cycles = 0u64;
+        let mut n = 0u64;
+        for scene in &scenes {
+            let unit = CecduSim::new(robot.clone(), scene.octree(), cfg);
+            for _ in 0..poses_per_scene {
+                let pose = robot.sample_config(&mut rng);
+                cycles += unit.check_pose(&pose).cycles;
+                n += 1;
+            }
+        }
+        let ap = cfg.area_power();
+        out.push(Table1Entry {
+            oocds,
+            iu,
+            latency_cycles: cycles as f64 / n as f64,
+            area_mm2: ap.area_mm2,
+            power_mw: ap.power_w * 1e3,
+        });
+    }
+    out
+}
+
+/// Renders Table 1 with paper-vs-measured latency.
+pub fn run(scale: Scale) -> Report {
+    let d = data(scale);
+    let mut r = Report::new("Table 1: CECDU latency/area/power for the Jaco2 arm (7 links, 6 DOF)");
+    r.columns(&[
+        "config",
+        "latency (cycles)",
+        "paper latency",
+        "area (mm^2)",
+        "power (mW)",
+    ]);
+    for e in &d {
+        let paper = PAPER_LATENCY
+            .iter()
+            .find(|(o, k, _)| *o == e.oocds && *k == e.iu.to_string())
+            .map(|(_, _, v)| *v)
+            .unwrap_or(f64::NAN);
+        r.row(&[
+            format!("{} IU, {}", e.oocds, e.iu),
+            f2(e.latency_cycles),
+            f2(paper),
+            format!("{:.3}", e.area_mm2),
+            f2(e.power_mw),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let d = data(Scale::Quick);
+        let get = |o: usize, iu: IuKind| d.iter().find(|e| e.oocds == o && e.iu == iu).unwrap();
+        let smc = get(1, IuKind::MultiCycle);
+        let sp = get(1, IuKind::Pipelined);
+        let fmc = get(4, IuKind::MultiCycle);
+        let fp = get(4, IuKind::Pipelined);
+        // Ordering matches Table 1: 4-OOCD < 1-OOCD; pipelined <= multi-cycle.
+        assert!(fmc.latency_cycles < smc.latency_cycles);
+        assert!(fp.latency_cycles <= fmc.latency_cycles * 1.02);
+        assert!(sp.latency_cycles <= smc.latency_cycles * 1.02);
+        // The paper band is 46–154 cycles; allow a generous envelope.
+        assert!(
+            (20.0..=230.0).contains(&smc.latency_cycles),
+            "1xmc latency {}",
+            smc.latency_cycles
+        );
+        assert!(
+            (15.0..=120.0).contains(&fp.latency_cycles),
+            "4xp latency {}",
+            fp.latency_cycles
+        );
+        // Area/power come straight from the synthesized Table 1 values.
+        assert!((smc.area_mm2 - 0.21).abs() < 1e-9);
+        assert!((fmc.power_mw - 215.7).abs() < 0.1);
+        // More hardware, more area/power.
+        assert!(fp.area_mm2 > smc.area_mm2);
+        assert!(fp.power_mw > sp.power_mw);
+    }
+}

@@ -1,0 +1,84 @@
+//! Table 2: area and power breakdown for all hardware units, plus the two
+//! MPAccel configurations.
+
+use mp_sim::power::blocks;
+use mp_sim::{AreaPower, CecduConfig, IuKind, MpaccelConfig};
+
+use crate::report::Report;
+use crate::workloads::Scale;
+
+/// The rows of Table 2: `(name, area mm², power W)`.
+pub fn data() -> Vec<(&'static str, AreaPower)> {
+    vec![
+        ("Scheduler", blocks::SCHEDULER),
+        (
+            "CECDU (with four multi-cycle OOCD)",
+            CecduConfig::new(4, IuKind::MultiCycle).area_power(),
+        ),
+        ("OBB Transformation Unit", blocks::OBB_UNIT),
+        ("Octree Traversal Unit", blocks::TRAVERSAL_UNIT),
+        ("Intersection Unit (Multi-cycle)", blocks::IU_MULTI_CYCLE),
+        ("Intersection Unit (Pipelined)", blocks::IU_PIPELINED),
+        (
+            "MPAccel Config 1 (16x 4 mc OOCD)",
+            MpaccelConfig::config1().area_power(),
+        ),
+        (
+            "MPAccel Config 2 (16x 4 p OOCD)",
+            MpaccelConfig::config2().area_power(),
+        ),
+    ]
+}
+
+/// Renders Table 2 (scale is unused; the table is analytic).
+pub fn run(_scale: Scale) -> Report {
+    let mut r = Report::new("Table 2: area and power breakdown (45 nm synthesis constants)");
+    r.note(
+        "per-block values are the paper's synthesized results; MPAccel rows compose structurally",
+    );
+    // §5's storage claim, itemized for the headline config on a benchmark.
+    let budget = mpaccel_core::sram::sram_budget(
+        &mp_robot::RobotModel::baxter(),
+        &mp_octree::Scene::random(mp_octree::SceneConfig::paper(), 0).octree(),
+        &MpaccelConfig::config1(),
+    );
+    r.note(format!(
+        "on-chip SRAM, Baxter + benchmark scene on Config 1: {} B total ({} B octree x {} OOCDs) — fits the §5 50 KB budget: {}",
+        budget.total_bytes(),
+        budget.octree_bytes,
+        budget.octree_copies,
+        budget.fits_50kb()
+    ));
+    r.columns(&["module", "area (mm^2)", "power"]);
+    for (name, ap) in data() {
+        let power = if ap.power_w >= 1.0 {
+            format!("{:.2} W", ap.power_w)
+        } else {
+            format!("{:.1} mW", ap.power_w * 1e3)
+        };
+        r.row(&[name.to_string(), format!("{:.3}", ap.area_mm2), power]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table2() {
+        let d = data();
+        let get = |n: &str| d.iter().find(|(name, _)| name.starts_with(n)).unwrap().1;
+        assert!((get("Scheduler").area_mm2 - 0.110).abs() < 1e-9);
+        assert!((get("Scheduler").power_w - 0.0607).abs() < 1e-9);
+        assert!((get("MPAccel Config 1").area_mm2 - 11.21).abs() < 0.02);
+        assert!((get("MPAccel Config 1").power_w - 3.51).abs() < 0.01);
+        assert!((get("MPAccel Config 2").area_mm2 - 18.12).abs() < 0.12);
+        assert!((get("MPAccel Config 2").power_w - 4.03).abs() < 0.02);
+    }
+
+    #[test]
+    fn renders_eight_rows() {
+        assert_eq!(run(Scale::Quick).rows().len(), 8);
+    }
+}

@@ -1,0 +1,257 @@
+//! Shared workload construction for the experiment harness.
+
+use mp_collision::SoftwareChecker;
+use mp_geometry::{AabbF, Obb};
+use mp_octree::{benchmark_scenes, Octree, Scene};
+use mp_planner::mpnet::{plan, MpnetConfig};
+use mp_planner::queries::generate_queries;
+use mp_planner::sampler::OracleSampler;
+use mp_robot::{MotionDescriptor, RobotModel};
+use mpaccel_core::sas::FunctionMode;
+use mpaccel_core::trace::{PlannerTrace, TraceEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Workload scale: `quick` for tests/CI, `full` for paper-scale runs
+/// (10 scenes × 100 queries, §6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small workloads (seconds).
+    #[default]
+    Quick,
+    /// Paper-scale workloads (minutes to hours).
+    Full,
+}
+
+impl Scale {
+    /// Reads `MPACCEL_BENCH_SCALE` (`quick`/`full`), defaulting to quick.
+    pub fn from_env() -> Scale {
+        match std::env::var("MPACCEL_BENCH_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Number of benchmark scenes.
+    pub fn scenes(self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Full => 10,
+        }
+    }
+
+    /// Planning queries per scene.
+    pub fn queries_per_scene(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Random pose samples for collision-detection microbenchmarks.
+    pub fn cd_samples(self) -> usize {
+        match self {
+            Scale::Quick => 400,
+            Scale::Full => 5000,
+        }
+    }
+}
+
+/// One collision-detection batch extracted from a planner trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CdBatchSpec {
+    /// Index of the scene the batch ran against.
+    pub scene: usize,
+    /// Motions in schedule order.
+    pub motions: Vec<MotionDescriptor>,
+    /// SAS function mode.
+    pub mode: FunctionMode,
+}
+
+/// A full benchmark workload: scenes, planner traces, and the CD batches
+/// they contain.
+#[derive(Clone, Debug)]
+pub struct BenchWorkload {
+    /// The robot under evaluation.
+    pub robot: RobotModel,
+    /// Benchmark scenes (subset of the §6 suite at quick scale).
+    pub scenes: Vec<Scene>,
+    /// Per-query planner traces, tagged with their scene index.
+    pub traces: Vec<(usize, PlannerTrace)>,
+    /// All CD batches of all traces.
+    pub batches: Vec<CdBatchSpec>,
+}
+
+impl BenchWorkload {
+    /// Returns the workload for a robot/scale, building it at most once per
+    /// process. Trace generation (planning hundreds of queries) dominates
+    /// experiment setup; every experiment and Criterion bench shares this
+    /// cache.
+    pub fn cached(robot: RobotModel, scale: Scale) -> BenchWorkload {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<(String, Scale), BenchWorkload>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (robot.name().to_string(), scale);
+        let mut guard = cache.lock().expect("workload cache poisoned");
+        guard
+            .entry(key)
+            .or_insert_with(|| BenchWorkload::build(robot, scale))
+            .clone()
+    }
+
+    /// Builds the MPNet workload for a robot at the given scale
+    /// (deterministic).
+    pub fn build(robot: RobotModel, scale: Scale) -> BenchWorkload {
+        let scenes: Vec<Scene> = benchmark_scenes()
+            .into_iter()
+            .take(scale.scenes())
+            .collect();
+        // Planning is embarrassingly parallel across scenes; full-scale
+        // workloads (10 scenes x 100 queries) benefit substantially.
+        let per_scene: Vec<Vec<PlannerTrace>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = scenes
+                .iter()
+                .enumerate()
+                .map(|(si, scene)| {
+                    let robot = robot.clone();
+                    scope.spawn(move || {
+                        let queries = generate_queries(
+                            &robot,
+                            scene,
+                            scale.queries_per_scene(),
+                            90 + si as u64,
+                        );
+                        queries
+                            .iter()
+                            .enumerate()
+                            .map(|(qi, q)| {
+                                let seed = (si * 1000 + qi) as u64;
+                                let mut checker =
+                                    SoftwareChecker::new(robot.clone(), scene.octree());
+                                let mut sampler = OracleSampler::new(robot.clone(), seed);
+                                let cfg = MpnetConfig {
+                                    seed,
+                                    ..MpnetConfig::default()
+                                };
+                                plan(&mut checker, &mut sampler, &q.start, &q.goal, &cfg).trace
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scene planning thread panicked"))
+                .collect()
+        });
+        let mut traces = Vec::new();
+        let mut batches = Vec::new();
+        for (si, scene_traces) in per_scene.into_iter().enumerate() {
+            for trace in scene_traces {
+                for e in &trace.events {
+                    if let TraceEvent::CdBatch { motions, mode } = e {
+                        if !motions.is_empty() {
+                            batches.push(CdBatchSpec {
+                                scene: si,
+                                motions: motions.clone(),
+                                mode: *mode,
+                            });
+                        }
+                    }
+                }
+                traces.push((si, trace));
+            }
+        }
+        BenchWorkload {
+            robot,
+            scenes,
+            traces,
+            batches,
+        }
+    }
+
+    /// Octree of scene `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn octree(&self, i: usize) -> Octree {
+        self.scenes[i].octree()
+    }
+
+    /// Total poses across all batches (upper bound on CD queries).
+    pub fn total_poses(&self) -> u64 {
+        self.batches
+            .iter()
+            .flat_map(|b| &b.motions)
+            .map(|m| m.count as u64)
+            .sum()
+    }
+}
+
+/// Whether any motion of the batch collides (ground truth via the software
+/// oracle, with per-motion early exit).
+pub fn batch_has_collision(workload: &BenchWorkload, batch: &CdBatchSpec) -> bool {
+    let mut checker = SoftwareChecker::new(workload.robot.clone(), workload.octree(batch.scene));
+    batch.motions.iter().any(|m| {
+        (0..m.count).any(|i| mp_collision::CollisionChecker::check_pose(&mut checker, &m.pose(i)))
+    })
+}
+
+/// Collects the actual OBB–AABB test pairs an OBB–octree traversal
+/// generates for random link-sized OBBs — the §4/Fig 8 test population
+/// ("collision detection tests between OBBs for random poses of the
+/// Jaco2 robot and octree for random environmental scenarios").
+pub fn collect_test_pairs(octree: &Octree, n_queries: usize, seed: u64) -> Vec<(Obb<f32>, AabbF)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::new();
+    for _ in 0..n_queries {
+        let obb = mp_baselines::workload::random_link_obb(&mut rng);
+        let mut record = |aabb: &AabbF| {
+            pairs.push((obb, *aabb));
+            mp_geometry::sat::overlaps(&obb, aabb)
+        };
+        let _ = octree.collides_with(&mut record);
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_quick() {
+        assert_eq!(Scale::default(), Scale::Quick);
+        assert!(Scale::Quick.scenes() <= Scale::Full.scenes());
+    }
+
+    #[test]
+    fn workload_builds_with_batches() {
+        let w = BenchWorkload::build(RobotModel::jaco2(), Scale::Quick);
+        assert_eq!(w.scenes.len(), Scale::Quick.scenes());
+        assert!(!w.traces.is_empty());
+        assert!(!w.batches.is_empty());
+        assert!(w.total_poses() > 100);
+        // Both function modes appear (feasibility always; connectivity when
+        // shortcutting had candidates).
+        assert!(w
+            .batches
+            .iter()
+            .any(|b| b.mode == FunctionMode::Feasibility));
+    }
+
+    #[test]
+    fn test_pairs_population_is_nonempty_and_mixed() {
+        let tree = Scene::random(mp_octree::SceneConfig::paper(), 0).octree();
+        let pairs = collect_test_pairs(&tree, 200, 3);
+        assert!(pairs.len() > 200);
+        let hits = pairs
+            .iter()
+            .filter(|(o, a)| mp_geometry::sat::overlaps(o, a))
+            .count();
+        // The traversal only descends where hits occur, so a healthy mix.
+        assert!(hits > 0 && hits < pairs.len());
+    }
+}

@@ -1,0 +1,231 @@
+//! Pose-level collision checking.
+
+use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig};
+use mp_octree::Octree;
+use mp_robot::fk::link_obbs;
+use mp_robot::{JointConfig, RobotModel, TrigMode};
+
+/// Counters accumulated across queries (the work metrics the paper's
+/// energy model is built on).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CdStats {
+    /// Robot-pose collision queries answered.
+    pub pose_queries: u64,
+    /// Link OBBs tested against the environment.
+    pub link_tests: u64,
+    /// OBB–AABB primitive intersection tests executed.
+    pub box_tests: u64,
+    /// Octree nodes visited.
+    pub nodes_visited: u64,
+    /// Multiplications spent in primitive tests.
+    pub mults: u64,
+}
+
+impl CdStats {
+    /// Adds another stats block into this one.
+    pub fn absorb(&mut self, other: CdStats) {
+        self.pose_queries += other.pose_queries;
+        self.link_tests += other.link_tests;
+        self.box_tests += other.box_tests;
+        self.nodes_visited += other.nodes_visited;
+        self.mults += other.mults;
+    }
+}
+
+/// Anything that can answer "does the robot collide in this pose?".
+///
+/// Implemented by the software oracle here and by the cycle-level CECDU
+/// models in `mpaccel-core`, so planners and schedulers can run on either.
+pub trait CollisionChecker {
+    /// The robot being checked.
+    fn robot(&self) -> &RobotModel;
+
+    /// Returns `true` if the robot collides with the environment at `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `cfg.dof()` does not match the robot.
+    fn check_pose(&mut self, cfg: &JointConfig) -> bool;
+
+    /// Work counters accumulated so far.
+    fn stats(&self) -> CdStats;
+
+    /// Clears the work counters.
+    fn reset_stats(&mut self);
+}
+
+/// The software oracle: exact `f32` kinematics + SAT-based octree queries.
+#[derive(Clone, Debug)]
+pub struct SoftwareChecker {
+    robot: RobotModel,
+    octree: Octree,
+    trig: TrigMode,
+    cascade: CascadeConfig,
+    stats: CdStats,
+}
+
+impl SoftwareChecker {
+    /// Creates a checker for a robot in an environment.
+    pub fn new(robot: RobotModel, octree: Octree) -> SoftwareChecker {
+        SoftwareChecker {
+            robot,
+            octree,
+            trig: TrigMode::Exact,
+            cascade: CascadeConfig::proposed(),
+            stats: CdStats::default(),
+        }
+    }
+
+    /// Uses the hardware's fifth-order trig approximation in FK, matching
+    /// what the OBB Generation Unit computes.
+    pub fn with_hardware_trig(mut self) -> SoftwareChecker {
+        self.trig = TrigMode::Hardware;
+        self
+    }
+
+    /// Overrides the intersection-test cascade configuration.
+    pub fn with_cascade(mut self, cascade: CascadeConfig) -> SoftwareChecker {
+        self.cascade = cascade;
+        self
+    }
+
+    /// The environment octree.
+    pub fn octree(&self) -> &Octree {
+        &self.octree
+    }
+
+    /// Replaces the environment (e.g. after a scene update).
+    pub fn set_octree(&mut self, octree: Octree) {
+        self.octree = octree;
+    }
+}
+
+impl CollisionChecker for SoftwareChecker {
+    fn robot(&self) -> &RobotModel {
+        &self.robot
+    }
+
+    fn check_pose(&mut self, cfg: &JointConfig) -> bool {
+        assert_eq!(cfg.dof(), self.robot.dof(), "configuration DOF mismatch");
+        self.stats.pose_queries += 1;
+        let obbs = link_obbs(&self.robot, cfg, self.trig);
+        for obb in &obbs {
+            self.stats.link_tests += 1;
+            let mut box_tests = 0u64;
+            let mut mults = 0u64;
+            let (hit, tstats) = self.octree.collides_with_stats(&mut |aabb| {
+                box_tests += 1;
+                let out = cascaded_obb_aabb(obb, aabb, &self.cascade);
+                mults += out.mults as u64;
+                out.colliding
+            });
+            self.stats.box_tests += box_tests;
+            self.stats.mults += mults;
+            self.stats.nodes_visited += tstats.nodes_visited as u64;
+            if hit {
+                // Early exit: subsequent links are not checked (§7.2.2).
+                return true;
+            }
+        }
+        false
+    }
+
+    fn stats(&self) -> CdStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CdStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_geometry::{Aabb, Vec3};
+    use mp_octree::{Octree, Scene, SceneConfig};
+    use mp_robot::fk::end_effector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empty_env() -> Octree {
+        Octree::build(&[], 4)
+    }
+
+    #[test]
+    fn empty_environment_is_always_free() {
+        let mut c = SoftwareChecker::new(RobotModel::baxter(), empty_env());
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let cfg = c.robot().sample_config(&mut rng);
+            assert!(!c.check_pose(&cfg));
+        }
+        assert_eq!(c.stats().pose_queries, 20);
+        assert_eq!(c.stats().link_tests, 20 * 7); // no early exits
+    }
+
+    #[test]
+    fn obstacle_on_the_arm_is_detected() {
+        let robot = RobotModel::jaco2();
+        // Place an obstacle right on the home-pose end effector.
+        let ee = end_effector(&robot, &robot.home());
+        let env = Octree::build(&[Aabb::new(ee, Vec3::splat(0.08))], 5);
+        let mut c = SoftwareChecker::new(robot, env);
+        let home = c.robot().home();
+        assert!(c.check_pose(&home));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let scene = Scene::random(SceneConfig::paper(), 1);
+        let mut c = SoftwareChecker::new(RobotModel::jaco2(), scene.octree());
+        let home = c.robot().home();
+        let _ = c.check_pose(&home);
+        let s1 = c.stats();
+        assert_eq!(s1.pose_queries, 1);
+        assert!(s1.box_tests >= 1 || s1.nodes_visited >= 7);
+        let _ = c.check_pose(&home);
+        assert_eq!(c.stats().pose_queries, 2);
+        c.reset_stats();
+        assert_eq!(c.stats(), CdStats::default());
+    }
+
+    #[test]
+    fn hardware_trig_checker_agrees_away_from_boundaries() {
+        let scene = Scene::random(SceneConfig::paper(), 3);
+        let mut exact = SoftwareChecker::new(RobotModel::baxter(), scene.octree());
+        let mut hw =
+            SoftwareChecker::new(RobotModel::baxter(), scene.octree()).with_hardware_trig();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut disagreements = 0;
+        for _ in 0..100 {
+            let cfg = exact.robot().sample_config(&mut rng);
+            if exact.check_pose(&cfg) != hw.check_pose(&cfg) {
+                disagreements += 1;
+            }
+        }
+        // Tiny FK perturbations can flip razor-edge poses only.
+        assert!(disagreements <= 2, "{disagreements} disagreements");
+    }
+
+    #[test]
+    #[should_panic(expected = "DOF mismatch")]
+    fn wrong_dof_rejected() {
+        let mut c = SoftwareChecker::new(RobotModel::jaco2(), empty_env());
+        let _ = c.check_pose(&JointConfig::zeros(7));
+    }
+
+    #[test]
+    fn absorb_combines_stats() {
+        let mut a = CdStats {
+            pose_queries: 1,
+            link_tests: 2,
+            box_tests: 3,
+            nodes_visited: 4,
+            mults: 5,
+        };
+        a.absorb(a);
+        assert_eq!(a.pose_queries, 2);
+        assert_eq!(a.mults, 10);
+    }
+}

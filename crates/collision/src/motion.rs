@@ -1,0 +1,157 @@
+//! Motion-level collision checking (sequential reference semantics).
+
+use mp_robot::{JointConfig, Motion};
+
+use crate::checker::CollisionChecker;
+
+/// Default C-space discretization step (radians of the worst joint between
+/// consecutive poses). With Baxter-scale motions this yields tens to
+/// hundreds of poses per motion, matching the ">1000 poses per motion
+/// planning query" workload of §4.
+pub const DEFAULT_CSPACE_STEP: f32 = 0.04;
+
+/// Result of checking one motion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MotionResult {
+    /// Whether any pose along the motion collides.
+    pub colliding: bool,
+    /// Index of the first colliding pose in sequential order, if any.
+    pub first_hit: Option<usize>,
+    /// Poses actually checked (sequential evaluation stops at the first
+    /// hit — the work-efficiency baseline of §3).
+    pub poses_checked: usize,
+    /// Total poses the motion discretizes into.
+    pub pose_count: usize,
+}
+
+/// Sequentially checks the discrete poses of a motion, stopping at the
+/// first collision (the serial baseline whose work efficiency parallel
+/// schedulers are measured against, §3).
+///
+/// # Panics
+///
+/// Panics if `step` is not positive or the motion's DOF does not match the
+/// checker's robot.
+pub fn check_motion(
+    checker: &mut impl CollisionChecker,
+    motion: &Motion,
+    step: f32,
+) -> MotionResult {
+    let n = motion.pose_count(step);
+    for i in 0..n {
+        let pose = motion.pose(i, n);
+        if checker.check_pose(&pose) {
+            return MotionResult {
+                colliding: true,
+                first_hit: Some(i),
+                poses_checked: i + 1,
+                pose_count: n,
+            };
+        }
+    }
+    MotionResult {
+        colliding: false,
+        first_hit: None,
+        poses_checked: n,
+        pose_count: n,
+    }
+}
+
+/// Checks every consecutive segment of a path ("feasibility checking",
+/// §2.1/Fig 3). Returns the index of the first infeasible segment, if any.
+///
+/// # Panics
+///
+/// Panics if the path has fewer than 2 waypoints.
+pub fn check_path(
+    checker: &mut impl CollisionChecker,
+    waypoints: &[JointConfig],
+    step: f32,
+) -> Option<usize> {
+    assert!(waypoints.len() >= 2, "a path needs at least 2 waypoints");
+    for (i, w) in waypoints.windows(2).enumerate() {
+        let m = Motion::new(w[0].clone(), w[1].clone());
+        if check_motion(checker, &m, step).colliding {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{CollisionChecker, SoftwareChecker};
+    use mp_geometry::{Aabb, Vec3};
+    use mp_octree::Octree;
+    use mp_robot::fk::end_effector;
+    use mp_robot::RobotModel;
+
+    /// A planar arm sweeping through an obstacle placed on its path.
+    fn planar_fixture() -> (SoftwareChecker, Motion) {
+        let robot = RobotModel::planar_2dof();
+        // At (j0=0.9, j1=0) the end effector sits at 0.8*(cos .9, sin .9).
+        let block_at = end_effector(&robot, &JointConfig::new(vec![0.9, 0.0]));
+        let env = Octree::build(&[Aabb::new(block_at, Vec3::splat(0.06))], 5);
+        let checker = SoftwareChecker::new(robot, env);
+        let motion = Motion::new(
+            JointConfig::new(vec![0.0, 0.0]),
+            JointConfig::new(vec![1.8, 0.0]),
+        );
+        (checker, motion)
+    }
+
+    #[test]
+    fn sweep_through_obstacle_detected_with_correct_first_hit() {
+        let (mut checker, motion) = planar_fixture();
+        let r = check_motion(&mut checker, &motion, 0.05);
+        assert!(r.colliding);
+        let hit = r.first_hit.unwrap();
+        // The obstacle sits at j0 ≈ 0.9 of a 0→1.8 sweep: roughly midway.
+        let frac = hit as f32 / (r.pose_count - 1) as f32;
+        assert!((0.25..=0.75).contains(&frac), "hit fraction {frac}");
+        // Sequential semantics: checked exactly first_hit + 1 poses.
+        assert_eq!(r.poses_checked, hit + 1);
+        assert_eq!(checker.stats().pose_queries as usize, r.poses_checked);
+    }
+
+    #[test]
+    fn free_motion_checks_every_pose() {
+        let robot = RobotModel::planar_2dof();
+        let env = Octree::build(&[], 4);
+        let mut checker = SoftwareChecker::new(robot, env);
+        let motion = Motion::new(
+            JointConfig::new(vec![0.0, 0.0]),
+            JointConfig::new(vec![1.0, 1.0]),
+        );
+        let r = check_motion(&mut checker, &motion, 0.1);
+        assert!(!r.colliding);
+        assert_eq!(r.first_hit, None);
+        assert_eq!(r.poses_checked, r.pose_count);
+    }
+
+    #[test]
+    fn path_reports_first_bad_segment() {
+        let (mut checker, motion) = planar_fixture();
+        // Segment 0 is short and free; segment 1 sweeps into the obstacle.
+        let path = vec![
+            JointConfig::new(vec![0.0, 0.0]),
+            JointConfig::new(vec![0.2, 0.0]),
+            motion.to.clone(),
+        ];
+        assert_eq!(check_path(&mut checker, &path, 0.05), Some(1));
+        // A path avoiding the obstacle (swing the elbow) is feasible.
+        let detour = vec![
+            JointConfig::new(vec![0.0, 0.0]),
+            JointConfig::new(vec![0.0, -2.2]),
+        ];
+        assert_eq!(check_path(&mut checker, &detour, 0.05), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 waypoints")]
+    fn degenerate_path_rejected() {
+        let (mut checker, _) = planar_fixture();
+        let _ = check_path(&mut checker, &[JointConfig::zeros(2)], 0.05);
+    }
+}

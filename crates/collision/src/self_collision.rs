@@ -1,0 +1,178 @@
+//! Robot self-collision checking — an extension beyond the paper's scope.
+//!
+//! The paper's accelerator checks the robot against the *environment*; a
+//! production motion planner must also reject configurations where the arm
+//! folds into itself. Link pairs are tested OBB-vs-OBB with the general
+//! separating-axis test; adjacent links (which legitimately touch at their
+//! shared joint) are excluded, as is standard practice.
+
+use mp_geometry::sat::obb_obb_overlaps;
+use mp_geometry::Obb;
+use mp_robot::fk::link_obbs;
+use mp_robot::{JointConfig, RobotModel, TrigMode};
+
+/// Uniform deflation applied to link boxes for self-checks.
+///
+/// The environment-facing link boxes are deliberately padded past their
+/// joints (a link must cover its joint housing), so neighbouring-but-not-
+/// adjacent boxes graze each other in *every* configuration. Deflating the
+/// boxes for the self-test removes that structural contact while keeping
+/// genuine fold-overs detectable — the same role as the negative padding
+/// in a MoveIt-style allowed-collision-matrix tuning.
+pub const SELF_CHECK_DEFLATION: f32 = 0.75;
+
+/// Which link pairs a robot checks for self-collision.
+///
+/// # Examples
+///
+/// ```
+/// use mp_collision::self_collision::SelfCollisionMatrix;
+/// use mp_robot::RobotModel;
+///
+/// let robot = RobotModel::jaco2();
+/// let m = SelfCollisionMatrix::standard(&robot);
+/// // Adjacent links are excluded; distant pairs are checked.
+/// assert!(!m.pairs().is_empty());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelfCollisionMatrix {
+    pairs: Vec<(usize, usize)>,
+}
+
+impl SelfCollisionMatrix {
+    /// The standard matrix: every link pair whose attachment frames differ
+    /// by more than two joints. Adjacent links share a joint and touch by
+    /// construction, and next-neighbours cluster around the same joint
+    /// housing (shoulder, elbow) — both are structurally in contact for
+    /// the padded link boxes, so only genuinely foldable pairs are checked.
+    pub fn standard(robot: &RobotModel) -> SelfCollisionMatrix {
+        let links = robot.links();
+        let mut pairs = Vec::new();
+        for i in 0..links.len() {
+            for j in (i + 1)..links.len() {
+                let fi = links[i].frame as isize;
+                let fj = links[j].frame as isize;
+                if (fi - fj).abs() > 2 {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        SelfCollisionMatrix { pairs }
+    }
+
+    /// An explicit pair list (for robots with known always-safe pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair is not strictly ordered (`i < j`).
+    pub fn from_pairs(pairs: Vec<(usize, usize)>) -> SelfCollisionMatrix {
+        assert!(
+            pairs.iter().all(|&(i, j)| i < j),
+            "pairs must be strictly ordered (i < j)"
+        );
+        SelfCollisionMatrix { pairs }
+    }
+
+    /// The checked pairs.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Whether the robot self-collides at `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.dof()` does not match the robot.
+    pub fn check(&self, robot: &RobotModel, cfg: &JointConfig) -> bool {
+        self.first_colliding_pair(robot, cfg).is_some()
+    }
+
+    /// The first colliding link pair at `cfg`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.dof()` does not match the robot.
+    pub fn first_colliding_pair(
+        &self,
+        robot: &RobotModel,
+        cfg: &JointConfig,
+    ) -> Option<(usize, usize)> {
+        let obbs: Vec<Obb<f32>> = link_obbs(robot, cfg, TrigMode::Exact)
+            .into_iter()
+            .map(|o| Obb::new(o.center, o.half * SELF_CHECK_DEFLATION, o.rotation))
+            .collect();
+        self.pairs
+            .iter()
+            .copied()
+            .find(|&(i, j)| obb_obb_overlaps(&obbs[i], &obbs[j]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_matrix_excludes_adjacent_links() {
+        let robot = RobotModel::jaco2();
+        let m = SelfCollisionMatrix::standard(&robot);
+        for &(i, j) in m.pairs() {
+            let fi = robot.links()[i].frame as isize;
+            let fj = robot.links()[j].frame as isize;
+            assert!((fi - fj).abs() > 2, "near-adjacent pair ({i},{j}) included");
+        }
+        assert!(m.pairs().len() >= 6, "Jaco2 should check several pairs");
+    }
+
+    #[test]
+    fn home_poses_are_self_collision_free() {
+        for robot in [RobotModel::jaco2(), RobotModel::baxter()] {
+            let m = SelfCollisionMatrix::standard(&robot);
+            assert!(
+                !m.check(&robot, &robot.home()),
+                "{} home pose self-collides",
+                robot.name()
+            );
+        }
+    }
+
+    #[test]
+    fn folded_planar_arm_self_collides() {
+        // Fold the elbow fully back: link 2 lies on top of link 1.
+        let robot = RobotModel::planar_2dof();
+        let m = SelfCollisionMatrix::from_pairs(vec![(0, 1)]);
+        let folded = JointConfig::new(vec![0.0, 3.1]);
+        assert!(m.check(&robot, &folded));
+        let pair = m.first_colliding_pair(&robot, &folded);
+        assert_eq!(pair, Some((0, 1)));
+        // Stretched out: no self-collision.
+        assert!(!m.check(&robot, &JointConfig::new(vec![0.0, 0.0])));
+    }
+
+    #[test]
+    fn most_random_poses_are_self_collision_free() {
+        // Self-collision should be the exception, not the rule, within
+        // joint limits; a high rate would indicate broken link geometry.
+        use rand::{rngs::StdRng, SeedableRng};
+        let robot = RobotModel::baxter();
+        let m = SelfCollisionMatrix::standard(&robot);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut collisions = 0;
+        let total = 200;
+        for _ in 0..total {
+            if m.check(&robot, &robot.sample_config(&mut rng)) {
+                collisions += 1;
+            }
+        }
+        assert!(
+            collisions * 3 < total,
+            "{collisions}/{total} random poses self-collide"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ordered")]
+    fn unordered_pairs_rejected() {
+        let _ = SelfCollisionMatrix::from_pairs(vec![(2, 1)]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the software collision oracle.
+
+use mp_collision::{check_motion, CollisionChecker, SoftwareChecker};
+use mp_geometry::{Aabb, AabbF, Vec3};
+use mp_octree::Octree;
+use mp_robot::{JointConfig, Motion, RobotModel};
+use proptest::prelude::*;
+
+fn any_obstacles() -> impl Strategy<Value = Vec<AabbF>> {
+    prop::collection::vec(
+        (
+            -0.7f32..0.7,
+            -0.7f32..0.7,
+            -0.7f32..0.7,
+            0.03f32..0.12,
+            0.03f32..0.12,
+            0.03f32..0.12,
+        )
+            .prop_map(|(x, y, z, a, b, c)| Aabb::new(Vec3::new(x, y, z), Vec3::new(a, b, c))),
+        0..7,
+    )
+}
+
+fn any_pose() -> impl Strategy<Value = JointConfig> {
+    prop::collection::vec(-2.8f32..2.8, 6).prop_map(JointConfig::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adding obstacles can only add collisions, never remove them.
+    #[test]
+    fn obstacles_are_monotone(obstacles in any_obstacles(), extra in any_obstacles(), pose in any_pose()) {
+        let robot = RobotModel::jaco2();
+        let mut small = SoftwareChecker::new(robot.clone(), Octree::build(&obstacles, 4));
+        let mut all = obstacles.clone();
+        all.extend(extra);
+        let mut big = SoftwareChecker::new(robot, Octree::build(&all, 4));
+        if small.check_pose(&pose) {
+            prop_assert!(big.check_pose(&pose), "adding obstacles removed a collision");
+        }
+    }
+
+    /// Inflating every obstacle preserves collisions.
+    #[test]
+    fn inflation_is_monotone(obstacles in any_obstacles(), pose in any_pose(), grow in 1.0f32..1.5) {
+        let robot = RobotModel::jaco2();
+        let mut base = SoftwareChecker::new(robot.clone(), Octree::build(&obstacles, 4));
+        let inflated: Vec<AabbF> = obstacles
+            .iter()
+            .map(|o| Aabb::new(o.center, o.half * grow))
+            .collect();
+        let mut fat = SoftwareChecker::new(robot, Octree::build(&inflated, 4));
+        if base.check_pose(&pose) {
+            prop_assert!(fat.check_pose(&pose));
+        }
+    }
+
+    /// An empty environment never collides, and the checker's stats add up.
+    #[test]
+    fn empty_env_is_free(pose in any_pose()) {
+        let robot = RobotModel::jaco2();
+        let mut c = SoftwareChecker::new(robot, Octree::build(&[], 3));
+        prop_assert!(!c.check_pose(&pose));
+        prop_assert_eq!(c.stats().pose_queries, 1);
+        prop_assert_eq!(c.stats().link_tests, 7); // all links, no early exit
+    }
+
+    /// Motion checking with a finer step never misses a collision that a
+    /// coarser step finds (pose supersets).
+    #[test]
+    fn finer_steps_see_more(obstacles in any_obstacles(), a in any_pose(), b in any_pose()) {
+        let robot = RobotModel::jaco2();
+        let tree = Octree::build(&obstacles, 4);
+        let m = Motion::new(a, b);
+        let coarse = check_motion(
+            &mut SoftwareChecker::new(robot.clone(), tree.clone()),
+            &m,
+            0.2,
+        );
+        // A step that divides the coarse one visits a superset of poses.
+        let fine = check_motion(&mut SoftwareChecker::new(robot, tree), &m, 0.05);
+        if coarse.colliding {
+            // The colliding coarse pose is not necessarily on the fine
+            // grid, but the fine grid brackets it within one coarse step;
+            // with convex obstacles and short steps this almost always
+            // holds — assert the direction only when the coarse hit is at
+            // an endpoint (guaranteed shared).
+            if coarse.first_hit == Some(0) || coarse.first_hit == Some(coarse.pose_count - 1) {
+                prop_assert!(fine.colliding);
+            }
+        }
+    }
+
+    /// The checker is a pure function of (pose, environment).
+    #[test]
+    fn checker_is_deterministic(obstacles in any_obstacles(), pose in any_pose()) {
+        let robot = RobotModel::jaco2();
+        let tree = Octree::build(&obstacles, 4);
+        let mut a = SoftwareChecker::new(robot.clone(), tree.clone());
+        let mut b = SoftwareChecker::new(robot, tree);
+        prop_assert_eq!(a.check_pose(&pose), b.check_pose(&pose));
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}

@@ -1,0 +1,228 @@
+//! Cycle-level model of the Intersection Unit (§5.2).
+//!
+//! The Intersection Unit executes the cascaded early-exit flow of Fig 10 on
+//! 16-bit fixed-point operands. Two designs exist (§5.2):
+//!
+//! * **multi-cycle** — one cascade stage per cycle; the unit is busy until
+//!   the test exits (1–4 cycles), and the Node Processing Unit only issues
+//!   the next query when the unit is free;
+//! * **pipelined** — the four stages form a pipeline with initiation
+//!   interval 1, so a query can be issued every cycle at a fixed latency.
+
+use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig, ExitStage};
+use mp_geometry::sat::{sat_first_separating, SAT_ALL_MULS};
+use mp_geometry::{FxAabb, FxObb};
+use mp_sim::{IuKind, OpCounter};
+
+/// Pipeline depth of the pipelined Intersection Unit: sphere filters + three
+/// SAT stages.
+pub const IU_PIPELINE_DEPTH: u32 = 4;
+
+/// The outcome of one intersection test executed by the unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IuOutcome {
+    /// Whether the OBB and AABB overlap.
+    pub colliding: bool,
+    /// Which cascade stage resolved the test.
+    pub exit: ExitStage,
+    /// Cycles from issue until the result is available.
+    pub latency: u32,
+    /// Cycles until the unit can accept the next query (multi-cycle:
+    /// = stages executed; pipelined: 1).
+    pub initiation_interval: u32,
+    /// Work spent.
+    pub ops: OpCounter,
+}
+
+/// Executes one cascaded intersection test (Fig 10) on the fixed-point
+/// datapath.
+///
+/// # Examples
+///
+/// ```
+/// use mp_geometry::cascade::CascadeConfig;
+/// use mp_geometry::{Aabb, Obb, Vec3};
+/// use mp_sim::IuKind;
+/// use mpaccel_core::intersection_unit::execute;
+///
+/// let obb = Obb::axis_aligned(Vec3::new(0.9, 0.9, 0.9), Vec3::splat(0.05)).quantize();
+/// let aabb = Aabb::new(Vec3::zero(), Vec3::splat(0.25)).quantize();
+/// let out = execute(&obb, &aabb, &CascadeConfig::proposed(), IuKind::MultiCycle);
+/// assert!(!out.colliding);
+/// assert_eq!(out.latency, 1); // far apart: bounding-sphere filter, 1 cycle
+/// ```
+pub fn execute(obb: &FxObb, aabb: &FxAabb, cfg: &CascadeConfig, kind: IuKind) -> IuOutcome {
+    let out = cascaded_obb_aabb(obb, aabb, cfg);
+    let ops = OpCounter {
+        mults: out.mults as u64,
+        box_tests: 1,
+        ..OpCounter::default()
+    };
+    match kind {
+        IuKind::MultiCycle => {
+            // The multi-cycle unit iterates its SAT stages over a narrow
+            // multiplier array (hence its smaller area in Table 2): the
+            // sphere filters take one cycle, each executed SAT batch two.
+            let sphere_ran = (cfg.bounding_sphere_filter || cfg.inscribed_sphere_filter) as u32;
+            let sat_stages = out.stages_executed - sphere_ran;
+            let latency = sphere_ran + 2 * sat_stages;
+            IuOutcome {
+                colliding: out.colliding,
+                exit: out.exit,
+                latency,
+                initiation_interval: latency,
+                ops,
+            }
+        }
+        IuKind::Pipelined => IuOutcome {
+            colliding: out.colliding,
+            exit: out.exit,
+            latency: IU_PIPELINE_DEPTH,
+            initiation_interval: 1,
+            ops,
+        },
+    }
+}
+
+/// Executes a *sequential* separating-axis test without sphere filters: one
+/// axis per cycle, early exit (the "sequential execution" baseline of
+/// Fig 8a / §7.2.1).
+pub fn execute_sat_sequential(obb: &FxObb, aabb: &FxAabb) -> IuOutcome {
+    let r = sat_first_separating(obb, aabb);
+    let ops = OpCounter {
+        mults: r.mults as u64,
+        box_tests: 1,
+        ..OpCounter::default()
+    };
+    IuOutcome {
+        colliding: r.colliding(),
+        exit: if r.colliding() {
+            ExitStage::Exhausted
+        } else {
+            ExitStage::Sat(1)
+        },
+        latency: r.axes_tested,
+        initiation_interval: r.axes_tested,
+        ops,
+    }
+}
+
+/// Executes a *fully parallel* separating-axis test: all 15 axes in one
+/// cycle, always 81 multiplications (the "parallel execution" of Fig 8a).
+pub fn execute_sat_parallel(obb: &FxObb, aabb: &FxAabb) -> IuOutcome {
+    let r = sat_first_separating(obb, aabb);
+    IuOutcome {
+        colliding: r.colliding(),
+        exit: if r.colliding() {
+            ExitStage::Exhausted
+        } else {
+            ExitStage::Sat(1)
+        },
+        latency: 1,
+        initiation_interval: 1,
+        ops: OpCounter {
+            mults: SAT_ALL_MULS as u64,
+            box_tests: 1,
+            ..OpCounter::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_geometry::{Aabb, Mat3, Obb, Vec3};
+
+    fn fx(obb: Obb, aabb: Aabb<f32>) -> (FxObb, FxAabb) {
+        (obb.quantize(), aabb.quantize())
+    }
+
+    #[test]
+    fn multi_cycle_latency_tracks_exit_stage() {
+        let (far, aabb) = fx(
+            Obb::axis_aligned(Vec3::new(0.9, 0.9, 0.9), Vec3::splat(0.05)),
+            Aabb::new(Vec3::zero(), Vec3::splat(0.2)),
+        );
+        let out = execute(&far, &aabb, &CascadeConfig::proposed(), IuKind::MultiCycle);
+        assert_eq!(out.latency, 1);
+        assert_eq!(out.initiation_interval, 1);
+        assert_eq!(out.ops.mults, 3);
+        assert!(!out.colliding);
+    }
+
+    #[test]
+    fn pipelined_latency_is_fixed() {
+        let (far, aabb) = fx(
+            Obb::axis_aligned(Vec3::new(0.9, 0.9, 0.9), Vec3::splat(0.05)),
+            Aabb::new(Vec3::zero(), Vec3::splat(0.2)),
+        );
+        let out = execute(&far, &aabb, &CascadeConfig::proposed(), IuKind::Pipelined);
+        assert_eq!(out.latency, IU_PIPELINE_DEPTH);
+        assert_eq!(out.initiation_interval, 1);
+    }
+
+    #[test]
+    fn deep_overlap_resolves_in_one_cycle() {
+        let (deep, aabb) = fx(
+            Obb::axis_aligned(Vec3::zero(), Vec3::splat(0.05)),
+            Aabb::new(Vec3::zero(), Vec3::splat(0.5)),
+        );
+        let out = execute(&deep, &aabb, &CascadeConfig::proposed(), IuKind::MultiCycle);
+        assert!(out.colliding);
+        assert_eq!(out.exit, ExitStage::InscribedSphere);
+        assert_eq!(out.latency, 1);
+        assert_eq!(out.ops.mults, 6);
+    }
+
+    #[test]
+    fn sequential_vs_parallel_sat_cost_shapes() {
+        // Far apart: sequential finds axis 1 fast (1 cycle, 3 mults);
+        // parallel takes 1 cycle but all 81 mults.
+        let (far, aabb) = fx(
+            Obb::axis_aligned(Vec3::new(1.5, 0.0, 0.0), Vec3::splat(0.1)),
+            Aabb::new(Vec3::zero(), Vec3::splat(0.3)),
+        );
+        let seq = execute_sat_sequential(&far, &aabb);
+        let par = execute_sat_parallel(&far, &aabb);
+        assert!(!seq.colliding && !par.colliding);
+        assert_eq!(seq.latency, 1);
+        assert_eq!(seq.ops.mults, 3);
+        assert_eq!(par.latency, 1);
+        assert_eq!(par.ops.mults, 81);
+    }
+
+    #[test]
+    fn colliding_case_costs_all_axes_either_way() {
+        let (hit, aabb) = fx(
+            Obb::new(
+                Vec3::new(0.1, 0.05, 0.0),
+                Vec3::splat(0.2),
+                Mat3::rotation_z(0.5),
+            ),
+            Aabb::new(Vec3::zero(), Vec3::splat(0.25)),
+        );
+        let seq = execute_sat_sequential(&hit, &aabb);
+        let par = execute_sat_parallel(&hit, &aabb);
+        assert!(seq.colliding && par.colliding);
+        assert_eq!(seq.ops.mults, 81);
+        assert_eq!(seq.latency, 15);
+        assert_eq!(par.latency, 1);
+    }
+
+    #[test]
+    fn cascade_and_sat_agree_on_outcome() {
+        let boxes = [
+            (Vec3::new(0.3, 0.2, -0.1), 0.2f32),
+            (Vec3::new(0.9, -0.8, 0.4), 0.1),
+            (Vec3::new(0.0, 0.0, 0.0), 0.15),
+            (Vec3::new(0.45, 0.45, 0.45), 0.12),
+        ];
+        let aabb = Aabb::new(Vec3::new(0.2, 0.1, 0.0), Vec3::splat(0.25)).quantize();
+        for (c, h) in boxes {
+            let obb = Obb::new(c, Vec3::splat(h), Mat3::rotation_y(0.3)).quantize();
+            let a = execute(&obb, &aabb, &CascadeConfig::proposed(), IuKind::MultiCycle);
+            let b = execute_sat_sequential(&obb, &aabb);
+            assert_eq!(a.colliding, b.colliding, "at {c:?}");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Cycle-level model of the OBB–octree Collision Detector (OOCD, Fig 14b).
+//!
+//! The OOCD traverses the environment octree for one robot-link OBB:
+//!
+//! 1. the Octree Traverser stores the root address in the Address Register;
+//! 2. the Memory Request Generator reads the 24-bit node word from SRAM
+//!    (one cycle per read) into the Node Queue;
+//! 3. the Node Processing Unit issues one intersection query per occupied
+//!    octant to the Intersection Unit (every cycle for the pipelined unit,
+//!    when free for the multi-cycle unit);
+//! 4. colliding *partially occupied* octants push their child address for
+//!    further traversal; a colliding *fully occupied* octant terminates the
+//!    query with `colliding = true`.
+
+use mp_geometry::cascade::CascadeConfig;
+use mp_geometry::{FxObb, Obb};
+use mp_octree::{Occupancy, Octree};
+use mp_sim::{IuKind, OpCounter};
+
+use crate::intersection_unit::{self, IU_PIPELINE_DEPTH};
+
+/// Configuration of one OOCD.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OocdConfig {
+    /// Intersection Unit design.
+    pub iu: IuKind,
+    /// Cascade configuration (the proposed flow by default; ablations for
+    /// §7.2.1 disable the sphere filters).
+    pub cascade: CascadeConfig,
+}
+
+impl OocdConfig {
+    /// The proposed design with the given IU kind.
+    pub fn new(iu: IuKind) -> OocdConfig {
+        OocdConfig {
+            iu,
+            cascade: CascadeConfig::proposed(),
+        }
+    }
+}
+
+/// Result of one OBB–octree collision query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OocdResult {
+    /// Whether the OBB touches occupied space.
+    pub colliding: bool,
+    /// Total cycles from request to result (13 in Fig 14b).
+    pub cycles: u64,
+    /// Work performed.
+    pub ops: OpCounter,
+}
+
+/// Simulates one OBB–octree collision query, cycle by cycle.
+///
+/// # Examples
+///
+/// ```
+/// use mp_geometry::{Obb, Vec3};
+/// use mp_octree::{Scene, SceneConfig};
+/// use mp_sim::IuKind;
+/// use mpaccel_core::oocd::{run_oocd, OocdConfig};
+///
+/// let tree = Scene::random(SceneConfig::paper(), 0).octree();
+/// let obb = Obb::axis_aligned(Vec3::zero(), Vec3::splat(0.05)).quantize();
+/// let out = run_oocd(&tree, &obb, &OocdConfig::new(IuKind::MultiCycle));
+/// assert!(!out.colliding); // scenes keep the base region clear
+/// assert!(out.cycles >= 2);
+/// ```
+pub fn run_oocd(octree: &Octree, obb: &FxObb, cfg: &OocdConfig) -> OocdResult {
+    let mut cycles: u64 = 1; // root address into the Address Register
+    let mut ops = OpCounter::default();
+
+    // The traversal stack models the Address Register + Node Queue.
+    let mut stack: Vec<(u32, mp_geometry::AabbF)> = vec![(0, octree.root_aabb())];
+
+    while let Some((addr, node_aabb)) = stack.pop() {
+        // SRAM read of the 24-bit node word.
+        cycles += 1;
+        ops.sram_reads += 1;
+
+        let node = octree.node(addr);
+        let mut issued: u64 = 0;
+        for octant in 0..8 {
+            let occ = node.occupancy(octant);
+            if !occ.is_occupied() {
+                continue;
+            }
+            let oct_aabb = Octree::octant_aabb(&node_aabb, octant).quantize();
+            let out = intersection_unit::execute(obb, &oct_aabb, &cfg.cascade, cfg.iu);
+            ops += out.ops;
+            issued += 1;
+            match cfg.iu {
+                IuKind::MultiCycle => {
+                    // The unit is busy for the whole cascade.
+                    cycles += out.initiation_interval as u64;
+                }
+                IuKind::Pipelined => {
+                    // One issue slot per query; drain latency added below.
+                    cycles += 1;
+                }
+            }
+            let colliding = out.colliding;
+            if colliding {
+                match occ {
+                    Occupancy::Full => {
+                        // Terminal: report collision once this result drains.
+                        if cfg.iu == IuKind::Pipelined {
+                            cycles += (IU_PIPELINE_DEPTH - 1) as u64;
+                        }
+                        return OocdResult {
+                            colliding: true,
+                            cycles,
+                            ops,
+                        };
+                    }
+                    Occupancy::Partial => {
+                        let child = node
+                            .child_address(octant)
+                            .expect("partial octant must have a child");
+                        stack.push((child, oct_aabb.to_f32()));
+                    }
+                    Occupancy::Empty => unreachable!(),
+                }
+            }
+        }
+        // The Node Queue lets the traverser prefetch the next stacked node
+        // while pipelined results drain, hiding the pipeline latency
+        // between nodes entirely; only the final drain (below) is exposed.
+        let _ = issued;
+    }
+
+    if cfg.iu == IuKind::Pipelined {
+        // Final drain: the last in-flight result must leave the pipeline
+        // before the traverser can report "no collision".
+        cycles += (IU_PIPELINE_DEPTH - 1) as u64;
+    }
+
+    OocdResult {
+        colliding: false,
+        cycles,
+        ops,
+    }
+}
+
+/// Software cross-check: the same traversal evaluated functionally (no
+/// timing), used to validate [`run_oocd`] in tests and debug assertions.
+pub fn reference_outcome(octree: &Octree, obb: &FxObb, cascade: &CascadeConfig) -> bool {
+    let obb_f = obb.to_f32();
+    octree.collides_with(|aabb| {
+        mp_geometry::cascade::cascaded_obb_aabb(&obb_f.quantize(), &aabb.quantize(), cascade)
+            .colliding
+    })
+}
+
+/// Convenience: quantizes an `f32` OBB and runs the query.
+pub fn run_oocd_f32(octree: &Octree, obb: &Obb<f32>, cfg: &OocdConfig) -> OocdResult {
+    run_oocd(octree, &obb.quantize(), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_geometry::{Aabb, Vec3};
+    use mp_octree::{Scene, SceneConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_obb(rng: &mut StdRng) -> Obb<f32> {
+        let c = Vec3::new(
+            rng.gen_range(-0.9..0.9),
+            rng.gen_range(-0.9..0.9),
+            rng.gen_range(-0.9..0.9),
+        );
+        let h = Vec3::new(
+            rng.gen_range(0.02..0.3),
+            rng.gen_range(0.02..0.12),
+            rng.gen_range(0.02..0.12),
+        );
+        let r = mp_geometry::Mat3::rotation_z(rng.gen_range(-3.0..3.0))
+            * mp_geometry::Mat3::rotation_y(rng.gen_range(-1.5..1.5));
+        Obb::new(c, h, r)
+    }
+
+    #[test]
+    fn agrees_with_reference_traversal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for seed in 0..5 {
+            let tree = Scene::random(SceneConfig::paper(), seed).octree();
+            for _ in 0..60 {
+                let obb = random_obb(&mut rng).quantize();
+                for iu in [IuKind::MultiCycle, IuKind::Pipelined] {
+                    let cfg = OocdConfig::new(iu);
+                    let got = run_oocd(&tree, &obb, &cfg);
+                    let want = reference_outcome(&tree, &obb, &cfg.cascade);
+                    assert_eq!(got.colliding, want, "seed {seed} iu {iu:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_costs_root_visit_only() {
+        let tree = Octree::build(&[], 4);
+        let obb = Obb::axis_aligned(Vec3::zero(), Vec3::splat(0.1)).quantize();
+        let out = run_oocd(&tree, &obb, &OocdConfig::new(IuKind::MultiCycle));
+        assert!(!out.colliding);
+        assert_eq!(out.ops.sram_reads, 1);
+        assert_eq!(out.ops.box_tests, 0); // nothing occupied
+        assert_eq!(out.cycles, 2); // address + node read
+    }
+
+    #[test]
+    fn typical_queries_stay_under_40_cycles() {
+        // §7.2.2: "OOCD ... performs collision detection between
+        // OBB-environment in < 40 cycles with 0.75KB on-chip SRAM."
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut total = 0u64;
+        let mut n = 0u64;
+        for seed in 0..10 {
+            let tree = Scene::random(SceneConfig::paper(), seed).octree();
+            assert!(tree.storage_bytes() <= 768);
+            for _ in 0..100 {
+                let obb = random_obb(&mut rng).quantize();
+                let out = run_oocd(&tree, &obb, &OocdConfig::new(IuKind::MultiCycle));
+                total += out.cycles;
+                n += 1;
+            }
+        }
+        let avg = total as f64 / n as f64;
+        assert!(avg < 40.0, "average OOCD latency {avg} cycles");
+    }
+
+    #[test]
+    fn pipelined_is_no_slower_on_busy_nodes() {
+        // A big OBB near obstacles issues many queries per node; the
+        // pipelined unit should win or tie on average.
+        let tree = Scene::random(SceneConfig::with_obstacles(9), 2).octree();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mc = 0u64;
+        let mut p = 0u64;
+        for _ in 0..200 {
+            let obb = random_obb(&mut rng).quantize();
+            mc += run_oocd(&tree, &obb, &OocdConfig::new(IuKind::MultiCycle)).cycles;
+            p += run_oocd(&tree, &obb, &OocdConfig::new(IuKind::Pipelined)).cycles;
+        }
+        assert!(p <= mc, "pipelined {p} vs multi-cycle {mc}");
+    }
+
+    #[test]
+    fn colliding_query_early_exits() {
+        // OBB sitting inside an obstacle: should terminate quickly.
+        let obs = Aabb::new(Vec3::new(0.5, 0.5, 0.5), Vec3::splat(0.1));
+        let tree = Octree::build(&[obs], 4);
+        let obb = Obb::axis_aligned(obs.center, Vec3::splat(0.02)).quantize();
+        let out = run_oocd(&tree, &obb, &OocdConfig::new(IuKind::MultiCycle));
+        assert!(out.colliding);
+        assert!(out.cycles < 30, "early exit took {} cycles", out.cycles);
+    }
+
+    #[test]
+    fn mults_track_cascade_filters() {
+        // Far-away OBB: every issued test should cost only the 3-mult
+        // bounding sphere filter at the root.
+        let obs = Aabb::new(Vec3::new(0.7, 0.7, 0.7), Vec3::splat(0.05));
+        let tree = Octree::build(&[obs], 4);
+        let obb = Obb::axis_aligned(Vec3::new(-0.7, -0.7, -0.7), Vec3::splat(0.03)).quantize();
+        let out = run_oocd(&tree, &obb, &OocdConfig::new(IuKind::MultiCycle));
+        assert!(!out.colliding);
+        assert_eq!(out.ops.mults, 3 * out.ops.box_tests);
+    }
+}

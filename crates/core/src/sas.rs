@@ -1,0 +1,756 @@
+//! Cycle-level model of the Spatially Aware Scheduler (SAS, §3 and §5.1).
+//!
+//! SAS exploits coarse-grained (inter-collision-detection-query)
+//! parallelism *work-efficiently*: because obstacles have physical spatial
+//! locality, collision results of nearby poses are correlated, so the
+//! scheduler batches *spatially distant* poses. The scheduling policies of
+//! Fig 7 are all implemented:
+//!
+//! | name | intra-motion order        | inter-motion |
+//! |------|---------------------------|--------------|
+//! | NP   | in order (naive)          | no           |
+//! | RND  | random                    | no           |
+//! | CSP  | coarse step               | no           |
+//! | BRP  | binary recursive          | no           |
+//! | MS   | in order, 1 CDU per motion| yes          |
+//! | MNP  | in order                  | yes          |
+//! | MBRP | binary recursive          | yes          |
+//! | MCSP | coarse step (proposed)    | yes          |
+//!
+//! The scheduler dispatches at most one query per cycle (§7.1), removes a
+//! motion from the schedule as soon as any of its poses collides, and
+//! honours the three function modes of §5.1 (feasibility / connectivity /
+//! complete).
+
+use mp_robot::{JointConfig, MotionDescriptor};
+use mp_sim::OpCounter;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The three SAS function modes (§5.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FunctionMode {
+    /// Stop at the first colliding pose: answers "are *all* motions free?".
+    Feasibility,
+    /// Stop at the first motion proven collision-free: answers "is at least
+    /// one motion free?" (used by shortcutting, §2.1).
+    Connectivity,
+    /// Produce a result for every motion.
+    #[default]
+    Complete,
+}
+
+/// Intra-motion pose ordering policies (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IntraPolicy {
+    /// Naive: poses in path order.
+    InOrder,
+    /// Random shuffle (the RND baseline of Fig 7).
+    Random {
+        /// Shuffle seed (deterministic runs).
+        seed: u64,
+    },
+    /// Coarse-step policy: offsets 0, s, 2s, … then 1, 1+s, … (CSP).
+    CoarseStep {
+        /// The step size (the paper sets 8 in hardware, §5.1).
+        step: usize,
+    },
+    /// Binary-recursive policy: endpoints, then midpoints, coarse-to-fine
+    /// (BRP; needs a queue in hardware, which is why CSP is preferred).
+    BinaryRecursive,
+}
+
+impl IntraPolicy {
+    /// The pose visit order for a motion of `n` poses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or a coarse step of 0 is configured.
+    pub fn order(&self, n: usize, motion_index: usize) -> Vec<usize> {
+        assert!(n > 0, "a motion has at least one pose");
+        match *self {
+            IntraPolicy::InOrder => (0..n).collect(),
+            IntraPolicy::Random { seed } => {
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (motion_index as u64).wrapping_mul(0x9E37_79B9));
+                order.shuffle(&mut rng);
+                order
+            }
+            IntraPolicy::CoarseStep { step } => {
+                assert!(step > 0, "coarse step must be positive");
+                let mut order = Vec::with_capacity(n);
+                for offset in 0..step.min(n) {
+                    let mut i = offset;
+                    while i < n {
+                        order.push(i);
+                        i += step;
+                    }
+                }
+                order
+            }
+            IntraPolicy::BinaryRecursive => {
+                let mut order = Vec::with_capacity(n);
+                if n == 1 {
+                    return vec![0];
+                }
+                order.push(0);
+                order.push(n - 1);
+                let mut queue = std::collections::VecDeque::new();
+                queue.push_back((0usize, n - 1));
+                while let Some((lo, hi)) = queue.pop_front() {
+                    if hi - lo > 1 {
+                        let mid = lo + (hi - lo) / 2;
+                        order.push(mid);
+                        queue.push_back((lo, mid));
+                        queue.push_back((mid, hi));
+                    }
+                }
+                debug_assert_eq!(order.len(), n);
+                order
+            }
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SasConfig {
+    /// Intra-motion pose ordering.
+    pub intra: IntraPolicy,
+    /// Whether to schedule several motions concurrently.
+    pub inter_motion: bool,
+    /// Motions considered together when `inter_motion` (paper: 16, §5.1).
+    pub group_size: usize,
+    /// Number of collision-detection units.
+    pub num_cdus: usize,
+    /// Queries dispatched per cycle: 1 for the real SAS (§7.1); set to
+    /// `num_cdus` for the idealized limit study of §3.
+    pub dispatch_per_cycle: usize,
+    /// Cap on in-flight queries per motion: `usize::MAX` normally; 1 for
+    /// the MS policy of Fig 7 (pure inter-motion parallelism: one CDU per
+    /// motion, poses in order).
+    pub max_outstanding_per_motion: usize,
+}
+
+impl SasConfig {
+    /// Sequential baseline: one CDU, in-order poses.
+    pub fn sequential() -> SasConfig {
+        SasConfig {
+            intra: IntraPolicy::InOrder,
+            inter_motion: false,
+            group_size: 1,
+            num_cdus: 1,
+            dispatch_per_cycle: 1,
+            max_outstanding_per_motion: usize::MAX,
+        }
+    }
+
+    /// Naive parallelization (NP) over `n` CDUs.
+    pub fn naive_parallel(n: usize) -> SasConfig {
+        SasConfig {
+            intra: IntraPolicy::InOrder,
+            inter_motion: false,
+            group_size: 1,
+            num_cdus: n,
+            dispatch_per_cycle: 1,
+            max_outstanding_per_motion: usize::MAX,
+        }
+    }
+
+    /// The proposed MCSP: coarse step 8 + inter-motion group 16 (§5.1).
+    pub fn mcsp(n: usize) -> SasConfig {
+        SasConfig {
+            intra: IntraPolicy::CoarseStep { step: 8 },
+            inter_motion: true,
+            group_size: 16,
+            num_cdus: n,
+            dispatch_per_cycle: 1,
+            max_outstanding_per_motion: usize::MAX,
+        }
+    }
+
+    /// Coarse-step policy without inter-motion parallelism (CSP).
+    pub fn csp(n: usize) -> SasConfig {
+        SasConfig {
+            intra: IntraPolicy::CoarseStep { step: 8 },
+            inter_motion: false,
+            group_size: 1,
+            num_cdus: n,
+            dispatch_per_cycle: 1,
+            max_outstanding_per_motion: usize::MAX,
+        }
+    }
+
+    /// Only inter-motion parallelism (MP in Fig 15 / MS in Fig 7).
+    pub fn inter_only(n: usize) -> SasConfig {
+        SasConfig {
+            intra: IntraPolicy::InOrder,
+            inter_motion: true,
+            group_size: 16,
+            num_cdus: n,
+            dispatch_per_cycle: 1,
+            max_outstanding_per_motion: usize::MAX,
+        }
+    }
+
+    /// Pure inter-motion parallelism with at most one in-flight query per
+    /// motion and in-order poses (MS in Fig 7).
+    pub fn ms(n: usize) -> SasConfig {
+        SasConfig {
+            max_outstanding_per_motion: 1,
+            ..SasConfig::inter_only(n)
+        }
+    }
+
+    /// Sets the inter-motion group size.
+    pub fn with_group_size(mut self, g: usize) -> SasConfig {
+        self.group_size = g.max(1);
+        self
+    }
+
+    /// Switches to the idealized limit-study dispatcher (§3: zero-latency
+    /// scheduler able to feed every CDU each cycle).
+    pub fn idealized(mut self) -> SasConfig {
+        self.dispatch_per_cycle = self.num_cdus;
+        self
+    }
+}
+
+/// Response of a collision-detection unit to one pose query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CduResponse {
+    /// Whether the pose collides.
+    pub colliding: bool,
+    /// Cycles from dispatch to result.
+    pub latency: u64,
+    /// Work performed.
+    pub ops: OpCounter,
+}
+
+/// A collision-detection unit the scheduler can dispatch to.
+pub trait CduModel {
+    /// Evaluates one pose query.
+    fn query(&mut self, pose: &JointConfig) -> CduResponse;
+}
+
+/// The idealized 1-cycle CDU of the §3 limit study, wrapping any
+/// functional checker.
+pub struct IdealCdu<C> {
+    checker: C,
+}
+
+impl<C: mp_collision::CollisionChecker> IdealCdu<C> {
+    /// Wraps a checker.
+    pub fn new(checker: C) -> IdealCdu<C> {
+        IdealCdu { checker }
+    }
+}
+
+impl<C: mp_collision::CollisionChecker> CduModel for IdealCdu<C> {
+    fn query(&mut self, pose: &JointConfig) -> CduResponse {
+        let colliding = self.checker.check_pose(pose);
+        CduResponse {
+            colliding,
+            latency: 1,
+            ops: OpCounter {
+                cd_queries: 1,
+                ..OpCounter::default()
+            },
+        }
+    }
+}
+
+/// A CECDU array element as the CDU (the real hardware).
+pub struct CecduCdu {
+    sim: crate::cecdu::CecduSim,
+}
+
+impl CecduCdu {
+    /// Wraps a CECDU simulation.
+    pub fn new(sim: crate::cecdu::CecduSim) -> CecduCdu {
+        CecduCdu { sim }
+    }
+}
+
+impl CduModel for CecduCdu {
+    fn query(&mut self, pose: &JointConfig) -> CduResponse {
+        let out = self.sim.check_pose(pose);
+        CduResponse {
+            colliding: out.colliding,
+            latency: out.cycles,
+            ops: out.ops,
+        }
+    }
+}
+
+/// How a SAS run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SasOutcome {
+    /// Feasibility mode: a colliding pose was found in this motion.
+    CollisionFound(usize),
+    /// Feasibility mode: every motion is collision-free.
+    AllFree,
+    /// Connectivity mode: this motion was proven collision-free.
+    FreeMotionFound(usize),
+    /// Connectivity mode: every motion collides.
+    NoFreeMotion,
+    /// Complete mode: all motions resolved.
+    Completed,
+}
+
+/// Result of one SAS batch execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SasRunResult {
+    /// Total cycles until the scheduler reported back.
+    pub cycles: u64,
+    /// Collision-detection queries dispatched.
+    pub queries: u64,
+    /// Accumulated work.
+    pub ops: OpCounter,
+    /// Per-motion verdicts (`None` if unresolved due to early stop).
+    pub motion_results: Vec<Option<bool>>,
+    /// How the run ended.
+    pub outcome: SasOutcome,
+}
+
+impl SasRunResult {
+    /// Whether motion `i` was proven colliding.
+    pub fn is_colliding(&self, i: usize) -> Option<bool> {
+        self.motion_results[i]
+    }
+}
+
+/// Per-motion scheduling state.
+struct MotionState {
+    descriptor: MotionDescriptor,
+    order: Vec<usize>,
+    next: usize,
+    outstanding: usize,
+    checked: usize,
+    result: Option<bool>,
+}
+
+impl MotionState {
+    fn resolved(&self) -> bool {
+        self.result.is_some()
+    }
+    fn has_pending(&self) -> bool {
+        self.result.is_none() && self.next < self.order.len()
+    }
+}
+
+/// Runs one batch of motions through SAS, cycle by cycle.
+///
+/// # Panics
+///
+/// Panics if `motions` is empty or the configuration is degenerate
+/// (`num_cdus == 0`, `group_size == 0`).
+pub fn run_sas(
+    motions: &[MotionDescriptor],
+    mode: FunctionMode,
+    cfg: &SasConfig,
+    cdu: &mut impl CduModel,
+) -> SasRunResult {
+    assert!(!motions.is_empty(), "SAS needs at least one motion");
+    assert!(cfg.num_cdus >= 1, "SAS needs at least one CDU");
+    assert!(cfg.group_size >= 1, "group size must be at least 1");
+
+    let mut states: Vec<MotionState> = motions
+        .iter()
+        .enumerate()
+        .map(|(i, d)| MotionState {
+            descriptor: d.clone(),
+            order: cfg.intra.order(d.count, i),
+            next: 0,
+            outstanding: 0,
+            checked: 0,
+            result: None,
+        })
+        .collect();
+
+    // CDU array: busy-until time and the in-flight completion.
+    struct InFlight {
+        finish: u64,
+        motion: usize,
+        colliding: bool,
+        ops: OpCounter,
+    }
+    let mut cdus: Vec<Option<InFlight>> = (0..cfg.num_cdus).map(|_| None).collect();
+
+    let mut t: u64 = 0;
+    let mut queries: u64 = 0;
+    let mut ops = OpCounter::default();
+    let mut rr_cursor = 0usize; // round-robin over the motion window
+
+    let outcome = 'run: loop {
+        // 1. Retire completions due at or before t.
+        for slot in cdus.iter_mut() {
+            let Some(f) = slot else { continue };
+            if f.finish > t {
+                continue;
+            }
+            let m = &mut states[f.motion];
+            m.outstanding -= 1;
+            m.checked += 1;
+            ops += f.ops;
+            if f.colliding && m.result.is_none() {
+                // Remove the motion from the schedule (§5.1: "It removes a
+                // motion from the scheduling list if an intermediate pose
+                // for this motion is found to be colliding").
+                m.result = Some(true);
+                m.next = m.order.len();
+                if mode == FunctionMode::Feasibility {
+                    let idx = f.motion;
+                    *slot = None;
+                    break 'run SasOutcome::CollisionFound(idx);
+                }
+            } else if m.result.is_none() && m.checked == m.descriptor.count && m.outstanding == 0 {
+                m.result = Some(false);
+                if mode == FunctionMode::Connectivity {
+                    let idx = f.motion;
+                    *slot = None;
+                    break 'run SasOutcome::FreeMotionFound(idx);
+                }
+            }
+            *slot = None;
+        }
+
+        // 2. Build the dispatch window.
+        let window: Vec<usize> = if cfg.inter_motion {
+            states
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.resolved())
+                .map(|(i, _)| i)
+                .take(cfg.group_size)
+                .collect()
+        } else {
+            states
+                .iter()
+                .enumerate()
+                .find(|(_, m)| m.has_pending() || m.outstanding > 0)
+                .map(|(i, _)| vec![i])
+                .unwrap_or_default()
+        };
+
+        // 3. Dispatch up to dispatch_per_cycle queries to free CDUs.
+        let mut dispatched = 0usize;
+        if !window.is_empty() {
+            for slot in cdus.iter_mut() {
+                if dispatched >= cfg.dispatch_per_cycle {
+                    break;
+                }
+                if slot.is_some() {
+                    continue;
+                }
+                // Round-robin over window members that still have poses.
+                let mut chosen = None;
+                for k in 0..window.len() {
+                    let mi = window[(rr_cursor + k) % window.len()];
+                    if states[mi].has_pending()
+                        && states[mi].outstanding < cfg.max_outstanding_per_motion
+                    {
+                        chosen = Some(mi);
+                        rr_cursor = (rr_cursor + k + 1) % window.len();
+                        break;
+                    }
+                }
+                let Some(mi) = chosen else { break };
+                let m = &mut states[mi];
+                let pose_idx = m.order[m.next];
+                m.next += 1;
+                m.outstanding += 1;
+                let pose = m.descriptor.pose(pose_idx);
+                let resp = cdu.query(&pose);
+                queries += 1;
+                dispatched += 1;
+                *slot = Some(InFlight {
+                    finish: t + resp.latency.max(1),
+                    motion: mi,
+                    colliding: resp.colliding,
+                    ops: resp.ops,
+                });
+            }
+        }
+
+        // 4. Check global termination.
+        let all_resolved = states.iter().all(MotionState::resolved);
+        let any_inflight = cdus.iter().any(Option::is_some);
+        if all_resolved && !any_inflight {
+            break match mode {
+                FunctionMode::Feasibility => SasOutcome::AllFree,
+                FunctionMode::Connectivity => SasOutcome::NoFreeMotion,
+                FunctionMode::Complete => SasOutcome::Completed,
+            };
+        }
+
+        // 5. Advance time: next cycle if we can still dispatch, else jump
+        // to the earliest completion.
+        let can_dispatch_next =
+            states.iter().any(MotionState::has_pending) && cdus.iter().any(Option::is_none);
+        if can_dispatch_next {
+            t += 1;
+        } else {
+            let next_finish = cdus
+                .iter()
+                .flatten()
+                .map(|f| f.finish)
+                .min()
+                .expect("in-flight work must exist if nothing can dispatch");
+            t = next_finish.max(t + 1);
+        }
+    };
+
+    // Account for the result aggregation cycle (§5.1, step 6).
+    SasRunResult {
+        cycles: t + 1,
+        queries,
+        ops,
+        motion_results: states.into_iter().map(|m| m.result).collect(),
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_collision::{CollisionChecker, SoftwareChecker};
+    use mp_octree::{Octree, Scene, SceneConfig};
+    use mp_robot::{Motion, RobotModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const STEP: f32 = 0.05;
+
+    fn fixture(seed: u64, n_motions: usize) -> (Vec<MotionDescriptor>, SoftwareChecker) {
+        let robot = RobotModel::jaco2();
+        let scene = Scene::random(SceneConfig::paper(), seed);
+        let checker = SoftwareChecker::new(robot.clone(), scene.octree());
+        let mut rng = StdRng::seed_from_u64(seed + 1000);
+        let motions = (0..n_motions)
+            .map(|_| {
+                Motion::new(robot.sample_config(&mut rng), robot.sample_config(&mut rng))
+                    .descriptor(STEP)
+            })
+            .collect();
+        (motions, checker)
+    }
+
+    /// Ground-truth per-motion verdicts via exhaustive checking.
+    fn ground_truth(motions: &[MotionDescriptor], checker: &mut SoftwareChecker) -> Vec<bool> {
+        motions
+            .iter()
+            .map(|d| (0..d.count).any(|i| checker.check_pose(&d.pose(i))))
+            .collect()
+    }
+
+    #[test]
+    fn policy_orders_are_permutations() {
+        for n in [1usize, 2, 7, 64, 101] {
+            for p in [
+                IntraPolicy::InOrder,
+                IntraPolicy::Random { seed: 3 },
+                IntraPolicy::CoarseStep { step: 8 },
+                IntraPolicy::BinaryRecursive,
+            ] {
+                let mut o = p.order(n, 0);
+                o.sort_unstable();
+                assert_eq!(o, (0..n).collect::<Vec<_>>(), "{p:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_step_order_shape() {
+        let o = IntraPolicy::CoarseStep { step: 4 }.order(10, 0);
+        assert_eq!(o, vec![0, 4, 8, 1, 5, 9, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn binary_recursive_starts_with_extremes_and_midpoint() {
+        let o = IntraPolicy::BinaryRecursive.order(9, 0);
+        assert_eq!(&o[..3], &[0, 8, 4]);
+    }
+
+    #[test]
+    fn complete_mode_matches_ground_truth_for_all_policies() {
+        let (motions, checker) = fixture(1, 6);
+        let truth = ground_truth(&motions, &mut checker.clone());
+        for cfg in [
+            SasConfig::sequential(),
+            SasConfig::naive_parallel(8),
+            SasConfig::csp(8),
+            SasConfig::mcsp(8),
+            SasConfig::inter_only(8),
+            SasConfig {
+                intra: IntraPolicy::BinaryRecursive,
+                inter_motion: true,
+                group_size: 16,
+                num_cdus: 8,
+                dispatch_per_cycle: 1,
+                max_outstanding_per_motion: usize::MAX,
+            },
+            SasConfig {
+                intra: IntraPolicy::Random { seed: 5 },
+                inter_motion: false,
+                group_size: 1,
+                num_cdus: 4,
+                dispatch_per_cycle: 1,
+                max_outstanding_per_motion: usize::MAX,
+            },
+            SasConfig::ms(8),
+        ] {
+            let mut cdu = IdealCdu::new(checker.clone());
+            let r = run_sas(&motions, FunctionMode::Complete, &cfg, &mut cdu);
+            assert_eq!(r.outcome, SasOutcome::Completed);
+            for (i, want) in truth.iter().enumerate() {
+                assert_eq!(
+                    r.motion_results[i],
+                    Some(*want),
+                    "cfg {cfg:?} motion {i} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feasibility_mode_agrees_with_truth() {
+        let (motions, checker) = fixture(2, 8);
+        let truth = ground_truth(&motions, &mut checker.clone());
+        let any_collision = truth.iter().any(|&c| c);
+        let mut cdu = IdealCdu::new(checker);
+        let r = run_sas(
+            &motions,
+            FunctionMode::Feasibility,
+            &SasConfig::mcsp(8),
+            &mut cdu,
+        );
+        match r.outcome {
+            SasOutcome::CollisionFound(i) => {
+                assert!(any_collision);
+                assert!(truth[i]);
+            }
+            SasOutcome::AllFree => assert!(!any_collision),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connectivity_mode_agrees_with_truth() {
+        let (motions, checker) = fixture(3, 8);
+        let truth = ground_truth(&motions, &mut checker.clone());
+        let any_free = truth.iter().any(|&c| !c);
+        let mut cdu = IdealCdu::new(checker);
+        let r = run_sas(
+            &motions,
+            FunctionMode::Connectivity,
+            &SasConfig::mcsp(8),
+            &mut cdu,
+        );
+        match r.outcome {
+            SasOutcome::FreeMotionFound(i) => {
+                assert!(any_free);
+                assert!(!truth[i]);
+            }
+            SasOutcome::NoFreeMotion => assert!(!any_free),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_is_faster_but_costs_more_queries() {
+        let (motions, checker) = fixture(4, 8);
+        let mut seq_cdu = IdealCdu::new(checker.clone());
+        let seq = run_sas(
+            &motions,
+            FunctionMode::Complete,
+            &SasConfig::sequential(),
+            &mut seq_cdu,
+        );
+        let mut np_cdu = IdealCdu::new(checker.clone());
+        let np = run_sas(
+            &motions,
+            FunctionMode::Complete,
+            &SasConfig::naive_parallel(16).idealized(),
+            &mut np_cdu,
+        );
+        assert!(
+            np.cycles < seq.cycles,
+            "np {} vs seq {}",
+            np.cycles,
+            seq.cycles
+        );
+        assert!(np.queries >= seq.queries);
+    }
+
+    #[test]
+    fn mcsp_is_more_work_efficient_than_np() {
+        // Aggregate over several batches: MCSP should issue fewer queries
+        // than NP at the same CDU count (the paper's central claim).
+        let mut np_total = 0u64;
+        let mut mcsp_total = 0u64;
+        for seed in 0..6 {
+            let (motions, checker) = fixture(seed, 8);
+            let mut a = IdealCdu::new(checker.clone());
+            np_total += run_sas(
+                &motions,
+                FunctionMode::Complete,
+                &SasConfig::naive_parallel(16).idealized(),
+                &mut a,
+            )
+            .queries;
+            let mut b = IdealCdu::new(checker.clone());
+            mcsp_total += run_sas(
+                &motions,
+                FunctionMode::Complete,
+                &SasConfig::mcsp(16).idealized(),
+                &mut b,
+            )
+            .queries;
+        }
+        assert!(
+            mcsp_total < np_total,
+            "MCSP {mcsp_total} queries vs NP {np_total}"
+        );
+    }
+
+    #[test]
+    fn sequential_on_free_space_checks_everything_once() {
+        let robot = RobotModel::jaco2();
+        let tree = Octree::build(&[], 3);
+        let checker = SoftwareChecker::new(robot.clone(), tree);
+        let m = Motion::new(robot.home(), {
+            let mut c = robot.home();
+            c.as_mut_slice()[0] += 1.0;
+            c
+        })
+        .descriptor(STEP);
+        let total: u64 = m.count as u64;
+        let mut cdu = IdealCdu::new(checker);
+        let r = run_sas(
+            std::slice::from_ref(&m),
+            FunctionMode::Complete,
+            &SasConfig::sequential(),
+            &mut cdu,
+        );
+        assert_eq!(r.queries, total);
+        assert_eq!(r.motion_results[0], Some(false));
+        // 1 query/cycle + latency-1 completion + aggregation.
+        assert!(r.cycles >= total && r.cycles <= total + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one motion")]
+    fn empty_batch_rejected() {
+        let (_, checker) = fixture(0, 1);
+        let mut cdu = IdealCdu::new(checker);
+        let _ = run_sas(
+            &[],
+            FunctionMode::Complete,
+            &SasConfig::sequential(),
+            &mut cdu,
+        );
+    }
+}

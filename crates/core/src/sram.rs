@@ -1,0 +1,127 @@
+//! On-chip SRAM budget accounting.
+//!
+//! §5: "We find that on-chip memory of 50 KB is sufficient to solve motion
+//! planning for high-DOF robots (~7) and complex environments. Hence, we
+//! use on-chip SRAM for storage, and MPAccel is not connected to DRAM."
+//! This module itemizes that budget for a concrete robot + environment +
+//! configuration, so the claim is checkable instead of asserted.
+
+use mp_octree::Octree;
+use mp_robot::RobotModel;
+use mp_sim::MpaccelConfig;
+
+/// Bytes of SRAM required by each part of the accelerator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SramBudget {
+    /// Environment octree (24-bit nodes), replicated per OOCD (§5.1: each
+    /// OOCD owns its octree SRAM so traversals never contend).
+    pub octree_bytes: usize,
+    /// Octree replicas (total OOCD count).
+    pub octree_copies: usize,
+    /// Per-link constants in each OBB Generation Unit: box size (3),
+    /// local center (3), bounding + inscribed radii (2) × 16 bits.
+    pub link_constants_bytes: usize,
+    /// Node queues: 8 entries × 24 bits per OOCD.
+    pub node_queue_bytes: usize,
+    /// Scheduler motion store: start pose + delta (2 × DOF × 16 bits) +
+    /// count per motion, for the 16-motion group window.
+    pub scheduler_bytes: usize,
+}
+
+impl SramBudget {
+    /// Total bytes across the accelerator.
+    pub fn total_bytes(&self) -> usize {
+        self.octree_bytes * self.octree_copies
+            + self.link_constants_bytes
+            + self.node_queue_bytes
+            + self.scheduler_bytes
+    }
+
+    /// Whether the configuration fits the paper's 50 KB on-chip budget.
+    pub fn fits_50kb(&self) -> bool {
+        self.total_bytes() <= 50 * 1024
+    }
+}
+
+/// Computes the SRAM budget for a robot + environment + configuration.
+///
+/// # Examples
+///
+/// ```
+/// use mp_octree::{Scene, SceneConfig};
+/// use mp_robot::RobotModel;
+/// use mp_sim::MpaccelConfig;
+/// use mpaccel_core::sram::sram_budget;
+///
+/// let budget = sram_budget(
+///     &RobotModel::baxter(),
+///     &Scene::random(SceneConfig::paper(), 0).octree(),
+///     &MpaccelConfig::config1(),
+/// );
+/// assert!(budget.fits_50kb()); // §5's claim, verified
+/// ```
+pub fn sram_budget(robot: &RobotModel, octree: &Octree, cfg: &MpaccelConfig) -> SramBudget {
+    let oocds = cfg.cecdus * cfg.cecdu.oocds;
+    let link_words = robot.link_count() * 8; // 8 × 16-bit constants per link
+    let motions = 16; // MCSP group window (§5.1)
+    let motion_words = 2 * robot.dof() + 1;
+    SramBudget {
+        octree_bytes: octree.storage_bytes(),
+        octree_copies: oocds,
+        link_constants_bytes: link_words * 2 * cfg.cecdus, // one store per CECDU
+        node_queue_bytes: oocds * 8 * 3,                   // 8 entries × 24 bits
+        scheduler_bytes: motions * motion_words * 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_octree::{benchmark_scenes, Scene, SceneConfig};
+
+    #[test]
+    fn paper_claim_50kb_holds_on_every_benchmark() {
+        // §5's central storage claim, for both evaluation arms and the
+        // headline configuration over the whole benchmark suite.
+        let cfg = MpaccelConfig::config1();
+        for robot in [RobotModel::jaco2(), RobotModel::baxter()] {
+            for scene in benchmark_scenes() {
+                let b = sram_budget(&robot, &scene.octree(), &cfg);
+                assert!(
+                    b.fits_50kb(),
+                    "{} on scene {} needs {} bytes",
+                    robot.name(),
+                    scene.seed(),
+                    b.total_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn octree_replication_dominates() {
+        // 64 OOCDs × ~0.2-0.75 KB octree: the replicated environment is the
+        // biggest consumer, as the paper's 0.75 KB-per-OOCD figure implies.
+        let b = sram_budget(
+            &RobotModel::baxter(),
+            &Scene::random(SceneConfig::paper(), 0).octree(),
+            &MpaccelConfig::config1(),
+        );
+        assert_eq!(b.octree_copies, 64);
+        assert!(b.octree_bytes * b.octree_copies > b.total_bytes() / 2);
+    }
+
+    #[test]
+    fn deeper_octrees_can_blow_the_budget() {
+        // The budget is a real constraint: a depth-6 octree on a cluttered
+        // scene exceeds it at 64 replicas.
+        let scene = Scene::random(SceneConfig::with_obstacles(16), 3);
+        let deep = mp_octree::Octree::build(scene.obstacles(), 6);
+        let b = sram_budget(&RobotModel::baxter(), &deep, &MpaccelConfig::config1());
+        assert!(
+            !b.fits_50kb(),
+            "expected a blown budget, got {} bytes",
+            b.total_bytes()
+        );
+    }
+}

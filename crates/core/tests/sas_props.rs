@@ -1,0 +1,272 @@
+//! Property-based tests of the SAS scheduler against a scripted mock CDU:
+//! scheduling policy must never change *verdicts*, only cost and order.
+
+use mp_robot::{JointConfig, Motion, MotionDescriptor};
+use mp_sim::OpCounter;
+use mpaccel_core::sas::{
+    run_sas, CduModel, CduResponse, FunctionMode, IntraPolicy, SasConfig, SasOutcome,
+};
+use proptest::prelude::*;
+
+/// A deterministic mock: pose `x`-coordinate ≥ threshold collides; latency
+/// is scripted per query.
+struct MockCdu {
+    threshold: f32,
+    latency: u64,
+}
+
+impl CduModel for MockCdu {
+    fn query(&mut self, pose: &JointConfig) -> CduResponse {
+        CduResponse {
+            colliding: pose[0] >= self.threshold,
+            latency: self.latency,
+            ops: OpCounter {
+                cd_queries: 1,
+                ..OpCounter::default()
+            },
+        }
+    }
+}
+
+/// Builds motions along joint 0 from `start` to `end`; a motion collides
+/// iff it crosses the threshold.
+fn motion(start: f32, end: f32, poses: usize) -> MotionDescriptor {
+    let m = Motion::new(
+        JointConfig::new(vec![start, 0.0]),
+        JointConfig::new(vec![end, 0.0]),
+    );
+    let n = poses.max(2);
+    MotionDescriptor {
+        start: m.pose(0, n),
+        delta: JointConfig::new(vec![(end - start) / (n - 1) as f32, 0.0]),
+        count: n,
+    }
+}
+
+fn any_motions() -> impl Strategy<Value = Vec<MotionDescriptor>> {
+    prop::collection::vec(
+        (-1.0f32..1.0, -1.0f32..1.0, 2usize..40).prop_map(|(a, b, n)| motion(a, b, n)),
+        1..10,
+    )
+}
+
+fn any_config() -> impl Strategy<Value = SasConfig> {
+    (
+        prop_oneof![
+            Just(IntraPolicy::InOrder),
+            Just(IntraPolicy::CoarseStep { step: 8 }),
+            Just(IntraPolicy::CoarseStep { step: 3 }),
+            Just(IntraPolicy::BinaryRecursive),
+            Just(IntraPolicy::Random { seed: 9 }),
+        ],
+        any::<bool>(),
+        1usize..6,
+        1usize..24,
+        any::<bool>(),
+    )
+        .prop_map(|(intra, inter, group, cdus, ideal)| {
+            let mut cfg = SasConfig {
+                intra,
+                inter_motion: inter,
+                group_size: group * 4,
+                num_cdus: cdus,
+                dispatch_per_cycle: 1,
+                max_outstanding_per_motion: usize::MAX,
+            };
+            if ideal {
+                cfg = cfg.idealized();
+            }
+            cfg
+        })
+}
+
+/// Ground truth: does motion `m` contain a pose with x >= threshold?
+fn truth(m: &MotionDescriptor, threshold: f32) -> bool {
+    (0..m.count).any(|i| m.pose(i)[0] >= threshold)
+}
+
+#[test]
+fn very_long_motion_schedules_every_pose_once() {
+    // A 5000-pose motion (finely discretized long sweep) in Complete mode:
+    // every pose is visited exactly once under MCSP.
+    let m = motion(-1.0, 1.0, 5000);
+    let mut cdu = MockCdu {
+        threshold: 2.0, // never collides
+        latency: 4,
+    };
+    let r = run_sas(
+        std::slice::from_ref(&m),
+        FunctionMode::Complete,
+        &SasConfig::mcsp(16),
+        &mut cdu,
+    );
+    assert_eq!(r.queries, 5000);
+    assert_eq!(r.motion_results[0], Some(false));
+    // Dispatch-limited: at 1 query/cycle the run needs >= 5000 cycles.
+    assert!(r.cycles >= 5000);
+    assert!(r.cycles < 5100, "excessive overhead: {}", r.cycles);
+}
+
+#[test]
+fn more_cdus_than_poses_is_harmless() {
+    let m = motion(0.0, 0.1, 3);
+    let mut cdu = MockCdu {
+        threshold: 2.0,
+        latency: 2,
+    };
+    let r = run_sas(
+        std::slice::from_ref(&m),
+        FunctionMode::Complete,
+        &SasConfig::mcsp(64),
+        &mut cdu,
+    );
+    assert_eq!(r.queries, 3);
+    assert_eq!(r.motion_results[0], Some(false));
+}
+
+#[test]
+fn group_size_larger_than_batch_is_harmless() {
+    let motions: Vec<_> = (0..3).map(|i| motion(i as f32 * 0.1, 0.5, 10)).collect();
+    let mut cdu = MockCdu {
+        threshold: 2.0,
+        latency: 1,
+    };
+    let cfg = SasConfig::mcsp(8).with_group_size(1000);
+    let r = run_sas(&motions, FunctionMode::Complete, &cfg, &mut cdu);
+    assert!(r.motion_results.iter().all(|v| *v == Some(false)));
+}
+
+#[test]
+fn immediate_collision_at_first_pose_is_cheap() {
+    // Every motion collides at pose 0: feasibility mode should resolve in
+    // a handful of cycles even with slow CDUs.
+    let motions: Vec<_> = (0..8).map(|_| motion(0.9, 1.0, 100)).collect();
+    let mut cdu = MockCdu {
+        threshold: 0.5,
+        latency: 10,
+    };
+    let r = run_sas(
+        &motions,
+        FunctionMode::Feasibility,
+        &SasConfig::mcsp(8),
+        &mut cdu,
+    );
+    assert!(matches!(r.outcome, SasOutcome::CollisionFound(_)));
+    assert!(
+        r.queries <= 16,
+        "{} queries for an immediate hit",
+        r.queries
+    );
+    assert!(r.cycles <= 40, "{} cycles for an immediate hit", r.cycles);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Complete mode: every motion's verdict equals ground truth under any
+    /// policy, CDU count, latency, and group size.
+    #[test]
+    fn complete_mode_verdicts_invariant(
+        motions in any_motions(),
+        cfg in any_config(),
+        threshold in -0.5f32..0.9,
+        latency in 1u64..30,
+    ) {
+        let mut cdu = MockCdu { threshold, latency };
+        let r = run_sas(&motions, FunctionMode::Complete, &cfg, &mut cdu);
+        prop_assert_eq!(r.outcome, SasOutcome::Completed);
+        for (i, m) in motions.iter().enumerate() {
+            prop_assert_eq!(r.motion_results[i], Some(truth(m, threshold)),
+                "motion {} misverdicted under {:?}", i, cfg);
+        }
+        // Work is bounded by the pose population.
+        let max: u64 = motions.iter().map(|m| m.count as u64).sum();
+        prop_assert!(r.queries <= max);
+        prop_assert!(r.cycles >= 1);
+    }
+
+    /// Feasibility mode agrees with ground truth regardless of scheduling.
+    #[test]
+    fn feasibility_mode_invariant(
+        motions in any_motions(),
+        cfg in any_config(),
+        threshold in -0.5f32..0.9,
+        latency in 1u64..20,
+    ) {
+        let mut cdu = MockCdu { threshold, latency };
+        let r = run_sas(&motions, FunctionMode::Feasibility, &cfg, &mut cdu);
+        let any_collision = motions.iter().any(|m| truth(m, threshold));
+        match r.outcome {
+            SasOutcome::CollisionFound(i) => {
+                prop_assert!(any_collision);
+                prop_assert!(truth(&motions[i], threshold));
+            }
+            SasOutcome::AllFree => prop_assert!(!any_collision),
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    /// Connectivity mode finds a free motion iff one exists.
+    #[test]
+    fn connectivity_mode_invariant(
+        motions in any_motions(),
+        cfg in any_config(),
+        threshold in -0.5f32..0.9,
+        latency in 1u64..20,
+    ) {
+        let mut cdu = MockCdu { threshold, latency };
+        let r = run_sas(&motions, FunctionMode::Connectivity, &cfg, &mut cdu);
+        let any_free = motions.iter().any(|m| !truth(m, threshold));
+        match r.outcome {
+            SasOutcome::FreeMotionFound(i) => {
+                prop_assert!(any_free);
+                prop_assert!(!truth(&motions[i], threshold));
+            }
+            SasOutcome::NoFreeMotion => prop_assert!(!any_free),
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    /// More CDUs never slow the schedule down (with fixed unit latency).
+    #[test]
+    fn cdus_monotonically_help(
+        motions in any_motions(),
+        threshold in -0.5f32..0.9,
+    ) {
+        let mut last = u64::MAX;
+        for n in [1usize, 4, 16] {
+            let mut cdu = MockCdu { threshold, latency: 8 };
+            let cfg = SasConfig::mcsp(n);
+            let r = run_sas(&motions, FunctionMode::Complete, &cfg, &mut cdu);
+            prop_assert!(
+                r.cycles <= last.saturating_add(8),
+                "{} CDUs slower: {} > {}",
+                n,
+                r.cycles,
+                last
+            );
+            last = r.cycles;
+        }
+    }
+
+    /// The sequential schedule visits exactly the sequential-early-exit
+    /// number of poses per motion.
+    #[test]
+    fn sequential_query_count_exact(
+        motions in any_motions(),
+        threshold in -0.5f32..0.9,
+    ) {
+        let mut cdu = MockCdu { threshold, latency: 1 };
+        let r = run_sas(&motions, FunctionMode::Complete, &SasConfig::sequential(), &mut cdu);
+        let expect: u64 = motions
+            .iter()
+            .map(|m| {
+                (0..m.count)
+                    .position(|i| m.pose(i)[0] >= threshold)
+                    .map(|p| p as u64 + 1)
+                    .unwrap_or(m.count as u64)
+            })
+            .sum();
+        prop_assert_eq!(r.queries, expect);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the Q3.12 fixed-point type.
+
+use mp_fixed::{Acc, Fx, RESOLUTION};
+use proptest::prelude::*;
+
+fn any_fx() -> impl Strategy<Value = Fx> {
+    any::<i16>().prop_map(Fx::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_bits(bits in any::<i16>()) {
+        prop_assert_eq!(Fx::from_bits(bits).to_bits(), bits);
+    }
+
+    #[test]
+    fn roundtrip_f32_on_grid(x in any_fx()) {
+        prop_assert_eq!(Fx::from_f32(x.to_f32()), x);
+    }
+
+    #[test]
+    fn add_commutes(a in any_fx(), b in any_fx()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn mul_commutes(a in any_fx(), b in any_fx()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn add_matches_f64_when_in_range(a in any_fx(), b in any_fx()) {
+        let exact = a.to_f64() + b.to_f64();
+        if exact < Fx::MAX.to_f64() && exact > Fx::MIN.to_f64() {
+            prop_assert!((a + b).to_f64() == exact);
+        }
+    }
+
+    #[test]
+    fn mul_error_within_half_lsb(a in any_fx(), b in any_fx()) {
+        let exact = a.to_f64() * b.to_f64();
+        if exact < Fx::MAX.to_f64() && exact > Fx::MIN.to_f64() {
+            let got = (a * b).to_f64();
+            prop_assert!((got - exact).abs() <= 0.5 * RESOLUTION as f64 + 1e-12,
+                "a={a:?} b={b:?} got={got} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn abs_is_nonnegative(a in any_fx()) {
+        prop_assert!(!a.abs().is_negative());
+    }
+
+    #[test]
+    fn neg_is_involutive_away_from_min(a in any_fx()) {
+        prop_assume!(a != Fx::MIN);
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn ordering_matches_f32(a in any_fx(), b in any_fx()) {
+        prop_assert_eq!(a < b, a.to_f32() < b.to_f32());
+    }
+
+    #[test]
+    fn wide_mul_never_truncates(a in any_fx(), b in any_fx()) {
+        let acc = Acc::from_product(a.wide_mul(b));
+        let exact = a.to_f64() * b.to_f64();
+        prop_assert!((acc.to_f64() - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fx_acc_comparison_consistent(a in any_fx(), b in any_fx(), c in any_fx()) {
+        // Compare a against b*c at full precision.
+        let acc = Acc::from_product(b.wide_mul(c));
+        let exact = b.to_f64() * c.to_f64();
+        prop_assert_eq!(a > acc, a.to_f64() > exact);
+    }
+
+    #[test]
+    fn clamp_is_idempotent(a in any_fx(), lo in any_fx(), hi in any_fx()) {
+        prop_assume!(lo <= hi);
+        let once = a.clamp(lo, hi);
+        prop_assert_eq!(once.clamp(lo, hi), once);
+        prop_assert!(once >= lo && once <= hi);
+    }
+}

@@ -1,0 +1,239 @@
+//! Axis-aligned bounding boxes.
+
+use mp_fixed::Fx;
+
+use crate::scalar::Scalar;
+use crate::vec3::Vector3;
+
+/// An axis-aligned bounding box stored as center + half-extents.
+///
+/// This matches the hardware representation: the OOCD receives each octant's
+/// AABB as its center and size, 6 × 16-bit values (§5.2).
+///
+/// # Examples
+///
+/// ```
+/// use mp_geometry::{Aabb, Vec3};
+///
+/// let a = Aabb::new(Vec3::zero(), Vec3::splat(1.0));
+/// assert!(a.contains_point(Vec3::new(0.5, -0.5, 0.9)));
+/// assert!(!a.contains_point(Vec3::new(1.5, 0.0, 0.0)));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Aabb<S> {
+    /// Center of the box.
+    pub center: Vector3<S>,
+    /// Half-extent along each world axis (all non-negative).
+    pub half: Vector3<S>,
+}
+
+impl<S: Scalar> Aabb<S> {
+    /// Creates a box from center and half-extents.
+    ///
+    /// Negative half-extents are normalized to their absolute value.
+    #[inline]
+    pub fn new(center: Vector3<S>, half: Vector3<S>) -> Aabb<S> {
+        Aabb {
+            center,
+            half: half.abs(),
+        }
+    }
+
+    /// Creates a box from its min and max corners.
+    ///
+    /// Swapped corners are tolerated (the box is normalized).
+    pub fn from_min_max(min: Vector3<S>, max: Vector3<S>) -> Aabb<S> {
+        let lo = min.min(max);
+        let hi = min.max(max);
+        let two_center = lo + hi;
+        let two_half = hi - lo;
+        // Halve by multiplying with 0.5 (exact in both scalar types).
+        let half_s = S::from_f32(0.5);
+        Aabb::new(two_center * half_s, two_half * half_s)
+    }
+
+    /// The minimum corner.
+    #[inline]
+    pub fn min_corner(&self) -> Vector3<S> {
+        self.center - self.half
+    }
+
+    /// The maximum corner.
+    #[inline]
+    pub fn max_corner(&self) -> Vector3<S> {
+        self.center + self.half
+    }
+
+    /// Whether the point lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: Vector3<S>) -> bool {
+        let d = (p - self.center).abs();
+        d.x <= self.half.x && d.y <= self.half.y && d.z <= self.half.z
+    }
+
+    /// Whether two AABBs overlap (touching counts as overlap).
+    #[inline]
+    pub fn overlaps(&self, other: &Aabb<S>) -> bool {
+        let d = (self.center - other.center).abs();
+        let r = self.half + other.half;
+        d.x <= r.x && d.y <= r.y && d.z <= r.z
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_aabb(&self, other: &Aabb<S>) -> bool {
+        let d = (self.center - other.center).abs();
+        d.x + other.half.x <= self.half.x
+            && d.y + other.half.y <= self.half.y
+            && d.z + other.half.z <= self.half.z
+    }
+
+    /// The point of this box closest to `p` (clamping, used by the
+    /// sphere–AABB test).
+    #[inline]
+    pub fn closest_point(&self, p: Vector3<S>) -> Vector3<S> {
+        p.max(self.min_corner()).min(self.max_corner())
+    }
+
+    /// Converts every component to `f32`.
+    #[inline]
+    pub fn to_f32(&self) -> Aabb<f32> {
+        Aabb::new(self.center.to_f32(), self.half.to_f32())
+    }
+}
+
+impl Aabb<f32> {
+    /// Volume of the box.
+    #[inline]
+    pub fn volume(&self) -> f32 {
+        8.0 * self.half.x * self.half.y * self.half.z
+    }
+
+    /// Smallest AABB containing both boxes.
+    pub fn union(&self, other: &Aabb<f32>) -> Aabb<f32> {
+        Aabb::from_min_max(
+            self.min_corner().min(other.min_corner()),
+            self.max_corner().max(other.max_corner()),
+        )
+    }
+
+    /// Quantizes to the fixed-point hardware representation.
+    ///
+    /// Half-extents round *up* to the next representable value so the
+    /// quantized box always contains the exact box (conservative for
+    /// collision detection: quantization may add false positives but never
+    /// false negatives).
+    pub fn quantize(&self) -> Aabb<Fx> {
+        let round_up = |v: f32| {
+            let q = Fx::from_f32(v);
+            if q.to_f32() < v {
+                q + Fx::EPSILON
+            } else {
+                q
+            }
+        };
+        Aabb::new(
+            self.center.quantize(),
+            Vector3::new(
+                round_up(self.half.x),
+                round_up(self.half.y),
+                round_up(self.half.z),
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AabbF, Vec3};
+
+    #[test]
+    fn min_max_roundtrip() {
+        let b = AabbF::from_min_max(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(b.center, Vec3::new(0.0, 2.0, 2.5));
+        assert_eq!(b.half, Vec3::new(1.0, 2.0, 0.5));
+        assert_eq!(b.min_corner(), Vec3::new(-1.0, 0.0, 2.0));
+        assert_eq!(b.max_corner(), Vec3::new(1.0, 4.0, 3.0));
+    }
+
+    #[test]
+    fn from_min_max_tolerates_swapped_corners() {
+        let a = AabbF::from_min_max(Vec3::new(1.0, 1.0, 1.0), Vec3::new(-1.0, -1.0, -1.0));
+        let b = AabbF::from_min_max(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negative_half_normalized() {
+        let b = AabbF::new(Vec3::zero(), Vec3::new(-1.0, 2.0, -3.0));
+        assert_eq!(b.half, Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn containment() {
+        let b = AabbF::new(Vec3::zero(), Vec3::splat(1.0));
+        assert!(b.contains_point(Vec3::zero()));
+        assert!(b.contains_point(Vec3::splat(1.0))); // boundary
+        assert!(!b.contains_point(Vec3::new(1.0001, 0.0, 0.0)));
+        let inner = AabbF::new(Vec3::splat(0.25), Vec3::splat(0.5));
+        assert!(b.contains_aabb(&inner));
+        assert!(!inner.contains_aabb(&b));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = AabbF::new(Vec3::zero(), Vec3::splat(1.0));
+        let apart = AabbF::new(Vec3::new(3.0, 0.0, 0.0), Vec3::splat(0.5));
+        let touching = AabbF::new(Vec3::new(2.0, 0.0, 0.0), Vec3::splat(1.0));
+        let inside = AabbF::new(Vec3::zero(), Vec3::splat(0.1));
+        assert!(!a.overlaps(&apart));
+        assert!(a.overlaps(&touching)); // touching counts
+        assert!(a.overlaps(&inside));
+        assert!(inside.overlaps(&a)); // symmetric
+    }
+
+    #[test]
+    fn closest_point_clamps() {
+        let b = AabbF::new(Vec3::zero(), Vec3::splat(1.0));
+        assert_eq!(
+            b.closest_point(Vec3::new(5.0, 0.0, 0.0)),
+            Vec3::new(1.0, 0.0, 0.0)
+        );
+        assert_eq!(
+            b.closest_point(Vec3::new(0.5, 0.5, 0.5)),
+            Vec3::new(0.5, 0.5, 0.5)
+        );
+        assert_eq!(
+            b.closest_point(Vec3::new(-4.0, 2.0, 0.3)),
+            Vec3::new(-1.0, 1.0, 0.3)
+        );
+    }
+
+    #[test]
+    fn volume_and_union() {
+        let a = AabbF::new(Vec3::zero(), Vec3::splat(1.0));
+        assert_eq!(a.volume(), 8.0);
+        let b = AabbF::new(Vec3::new(3.0, 0.0, 0.0), Vec3::splat(1.0));
+        let u = a.union(&b);
+        assert_eq!(u.min_corner(), Vec3::new(-1.0, -1.0, -1.0));
+        assert_eq!(u.max_corner(), Vec3::new(4.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn quantization_is_conservative() {
+        // Pick half-extents that are not on the Q3.12 grid.
+        let b = AabbF::new(Vec3::new(0.1, 0.2, 0.3), Vec3::new(0.0001, 0.1003, 0.2001));
+        let q = b.quantize();
+        // Every quantized half-extent must be >= the exact one minus center shift.
+        let qf = q.to_f32();
+        for i in 0..3 {
+            // Center may shift by at most half an LSB; half-extent must cover it.
+            assert!(
+                qf.half[i] + 1.0 / 8192.0 >= b.half[i],
+                "axis {i} shrank: {} < {}",
+                qf.half[i],
+                b.half[i]
+            );
+        }
+    }
+}

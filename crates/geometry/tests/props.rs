@@ -1,0 +1,143 @@
+//! Property-based tests for the intersection kernels.
+
+use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig, StageSplit};
+use mp_geometry::sat::{overlaps, sat_all, sat_first_separating};
+use mp_geometry::{Aabb, AabbF, Mat3, Obb, Sphere, Vec3};
+use proptest::prelude::*;
+
+fn any_vec(range: f32) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn any_half() -> impl Strategy<Value = Vec3> {
+    (0.02f32..0.6, 0.02f32..0.6, 0.02f32..0.6).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn any_rot() -> impl Strategy<Value = Mat3> {
+    (-3.0f32..3.0, -1.5f32..1.5, -3.0f32..3.0)
+        .prop_map(|(a, b, c)| Mat3::rotation_z(a) * Mat3::rotation_y(b) * Mat3::rotation_x(c))
+}
+
+fn any_obb() -> impl Strategy<Value = Obb> {
+    (any_vec(1.5), any_half(), any_rot()).prop_map(|(c, h, r)| Obb::new(c, h, r))
+}
+
+fn any_aabb() -> impl Strategy<Value = AabbF> {
+    (any_vec(1.0), any_half()).prop_map(|(c, h)| Aabb::new(c, h))
+}
+
+/// Samples a dense grid of points inside the OBB; if any lies inside the
+/// AABB the boxes definitely overlap (a one-sided geometric oracle).
+fn sampled_overlap_witness(obb: &Obb, aabb: &AabbF) -> bool {
+    let n = 6;
+    for ix in 0..=n {
+        for iy in 0..=n {
+            for iz in 0..=n {
+                let f = |i: i32, h: f32| (i as f32 / n as f32 * 2.0 - 1.0) * h;
+                let local = Vec3::new(f(ix, obb.half.x), f(iy, obb.half.y), f(iz, obb.half.z));
+                let world = obb.center + obb.rotation * local;
+                if aabb.contains_point(world) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// The cascaded early-exit flow must classify exactly like plain SAT.
+    #[test]
+    fn cascade_equals_sat(obb in any_obb(), aabb in any_aabb()) {
+        let want = sat_first_separating(&obb, &aabb).colliding();
+        let got = cascaded_obb_aabb(&obb, &aabb, &CascadeConfig::proposed()).colliding;
+        prop_assert_eq!(got, want);
+    }
+
+    /// Sequential early-exit and fully-parallel SAT agree on the outcome and
+    /// on the first separating axis.
+    #[test]
+    fn sequential_and_parallel_sat_agree(obb in any_obb(), aabb in any_aabb()) {
+        let seq = sat_first_separating(&obb, &aabb);
+        let all = sat_all(&obb, &aabb);
+        prop_assert_eq!(seq.colliding(), all.colliding());
+        prop_assert_eq!(seq.separating, all.separating);
+        prop_assert!(seq.mults <= all.mults);
+    }
+
+    /// If a sampled point of the OBB lies inside the AABB, SAT must report
+    /// a collision (SAT never produces false "separated" verdicts).
+    #[test]
+    fn sat_never_misses_witnessed_overlap(obb in any_obb(), aabb in any_aabb()) {
+        if sampled_overlap_witness(&obb, &aabb) {
+            prop_assert!(overlaps(&obb, &aabb));
+        }
+    }
+
+    /// Disjoint enclosing AABBs imply SAT separation (necessary condition;
+    /// axes 1-3 of the SAT are exactly this test).
+    #[test]
+    fn enclosing_aabb_disjoint_implies_separated(obb in any_obb(), aabb in any_aabb()) {
+        if !obb.enclosing_aabb().overlaps(&aabb) {
+            prop_assert!(!overlaps(&obb, &aabb));
+        }
+    }
+
+    /// Fixed-point quantization is conservative: an f32-colliding pair with
+    /// margin (witnessed by a strictly interior sample point) stays
+    /// colliding after quantization.
+    #[test]
+    fn quantization_preserves_witnessed_collisions(obb in any_obb(), aabb in any_aabb()) {
+        // Shrink the obb slightly for the witness so the overlap has margin.
+        let shrunk = Obb::new(obb.center, obb.half * 0.9, obb.rotation);
+        if sampled_overlap_witness(&shrunk, &aabb) {
+            prop_assert!(overlaps(&obb.quantize(), &aabb.quantize()));
+        }
+    }
+
+    /// The bounding sphere always contains the OBB's corners and the
+    /// inscribed sphere never pokes out of it.
+    #[test]
+    fn sphere_radii_bracket_box(obb in any_obb()) {
+        for c in obb.corners() {
+            let d = (c - obb.center).length();
+            prop_assert!(d <= obb.bounding_radius + 1e-4);
+            prop_assert!(d >= obb.inscribed_radius - 1e-4);
+        }
+    }
+
+    /// Sphere-AABB overlap agrees between f32 and fixed point on clear cases
+    /// (margin larger than the quantization grid).
+    #[test]
+    fn sphere_test_f32_fx_agree_with_margin(c in any_vec(1.5), r in 0.05f32..0.8, aabb in any_aabb()) {
+        let s = Sphere::new(c, r);
+        let closest = aabb.closest_point(c);
+        let margin = ((closest - c).length() - r).abs();
+        prop_assume!(margin > 0.01);
+        let f32_hit = s.overlaps_aabb(&aabb);
+        let fx_hit = s.quantize_outer().overlaps_aabb(&aabb.quantize());
+        prop_assert_eq!(f32_hit, fx_hit);
+    }
+
+    /// All stage splits classify identically (the split is an energy/latency
+    /// trade-off, never a correctness knob).
+    #[test]
+    fn stage_splits_classify_identically(obb in any_obb(), aabb in any_aabb()) {
+        let base = cascaded_obb_aabb(&obb, &aabb, &CascadeConfig::proposed()).colliding;
+        for split in [[5u8, 5, 5], [6, 5, 4], [10, 3, 2], [1, 1, 13]] {
+            let cfg = CascadeConfig { split: StageSplit::new(split), ..CascadeConfig::proposed() };
+            prop_assert_eq!(cascaded_obb_aabb(&obb, &aabb, &cfg).colliding, base);
+        }
+    }
+
+    /// Cascade multiplication accounting is bounded by filters + full SAT.
+    #[test]
+    fn cascade_mults_bounded(obb in any_obb(), aabb in any_aabb()) {
+        let out = cascaded_obb_aabb(&obb, &aabb, &CascadeConfig::proposed());
+        prop_assert!(out.mults >= 3);
+        prop_assert!(out.mults <= 6 + 81);
+        prop_assert!(out.stages_executed >= 1 && out.stages_executed <= 4);
+    }
+}

@@ -1,0 +1,550 @@
+//! Octree construction and traversal.
+
+use std::collections::VecDeque;
+
+use mp_geometry::{AabbF, Vec3};
+
+use crate::node::{Node, Occupancy, PackNodeError};
+
+/// Maximum tree depth the builder accepts (leaf size = extent / 2^depth).
+pub const MAX_SUPPORTED_DEPTH: u32 = 10;
+
+/// Statistics from one traversal of the octree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Nodes fetched (≙ SRAM reads in the OOCD).
+    pub nodes_visited: u32,
+    /// Primitive intersection tests performed against octant AABBs.
+    pub tests_performed: u32,
+}
+
+/// An octree over the environment, built from cuboid obstacles.
+///
+/// The environment is the axis-aligned cube the tree was built in (the
+/// normalized workspace `[-1, 1]³` by default). Nodes are stored in BFS
+/// order so that each node's children occupy a contiguous block, matching
+/// the hardware's 8-bit child-base addressing (§5.2).
+///
+/// # Examples
+///
+/// ```
+/// use mp_geometry::{Aabb, Vec3};
+/// use mp_octree::Octree;
+///
+/// let obstacle = Aabb::new(Vec3::new(0.5, 0.5, 0.5), Vec3::splat(0.1));
+/// let tree = Octree::build(&[obstacle], 4);
+/// assert!(tree.contains_point(Vec3::new(0.5, 0.5, 0.5)));
+/// assert!(!tree.contains_point(Vec3::new(-0.5, -0.5, -0.5)));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Octree {
+    nodes: Vec<Node>,
+    root: AabbF,
+    max_depth: u32,
+}
+
+impl Octree {
+    /// Builds an octree over the normalized workspace `[-1, 1]³`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth` is 0 or exceeds [`MAX_SUPPORTED_DEPTH`].
+    pub fn build(obstacles: &[AabbF], max_depth: u32) -> Octree {
+        Octree::build_in(
+            AabbF::new(Vec3::zero(), Vec3::splat(1.0)),
+            obstacles,
+            max_depth,
+        )
+    }
+
+    /// Builds an octree over an arbitrary root cube.
+    ///
+    /// Partially occupied octants at the maximum depth are conservatively
+    /// marked fully occupied (leaf quantization), so the tree *over*-covers
+    /// the true obstacle set — collision detection against it can produce
+    /// false positives but never false negatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth` is 0 or exceeds [`MAX_SUPPORTED_DEPTH`].
+    pub fn build_in(root: AabbF, obstacles: &[AabbF], max_depth: u32) -> Octree {
+        assert!(
+            (1..=MAX_SUPPORTED_DEPTH).contains(&max_depth),
+            "max_depth must be in 1..={MAX_SUPPORTED_DEPTH}, got {max_depth}"
+        );
+        let mut nodes = vec![Node::empty()];
+        let mut queue: VecDeque<(usize, AabbF, u32)> = VecDeque::new();
+        queue.push_back((0, root, 0));
+
+        while let Some((idx, aabb, depth)) = queue.pop_front() {
+            let mut node = Node::empty();
+            let mut partial_octants = Vec::new();
+            for octant in 0..8 {
+                let oct_aabb = Octree::octant_aabb(&aabb, octant);
+                let occ = classify(&oct_aabb, obstacles);
+                let occ = if occ == Occupancy::Partial && depth + 1 >= max_depth {
+                    Occupancy::Full // leaf quantization: conservative
+                } else {
+                    occ
+                };
+                node.set_occupancy(octant, occ);
+                if occ == Occupancy::Partial {
+                    partial_octants.push((octant, oct_aabb));
+                }
+            }
+            node.set_child_base(nodes.len() as u32);
+            for &(_, oct_aabb) in &partial_octants {
+                let child_idx = nodes.len();
+                nodes.push(Node::empty());
+                queue.push_back((child_idx, oct_aabb, depth + 1));
+            }
+            nodes[idx] = node;
+        }
+
+        Octree {
+            nodes,
+            root,
+            max_depth,
+        }
+    }
+
+    /// The AABB of octant `i` (0–7) of a parent box. Bit 0 selects the +x
+    /// half, bit 1 the +y half, bit 2 the +z half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `octant > 7`.
+    pub fn octant_aabb(parent: &AabbF, octant: usize) -> AabbF {
+        assert!(octant < 8, "octant index out of range: {octant}");
+        let q = parent.half * 0.5;
+        let sx = if octant & 1 != 0 { q.x } else { -q.x };
+        let sy = if octant & 2 != 0 { q.y } else { -q.y };
+        let sz = if octant & 4 != 0 { q.z } else { -q.z };
+        AabbF::new(parent.center + Vec3::new(sx, sy, sz), q)
+    }
+
+    /// The node at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn node(&self, addr: u32) -> &Node {
+        &self.nodes[addr as usize]
+    }
+
+    /// All nodes in address order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The root cube of the environment.
+    pub fn root_aabb(&self) -> AabbF {
+        self.root
+    }
+
+    /// The depth limit the tree was built with.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// On-chip storage in bytes (24 bits per node, as stored in the OOCD's
+    /// SRAM).
+    pub fn storage_bytes(&self) -> usize {
+        (self.nodes.len() * Node::PACKED_BITS as usize).div_ceil(8)
+    }
+
+    /// Whether the tree fits the accelerator's 8-bit node addressing
+    /// (≤ 256 nodes ⇒ 0.75 KB SRAM, §7.2.2).
+    pub fn fits_hardware(&self) -> bool {
+        self.nodes.len() <= 256
+    }
+
+    /// Packs all nodes into their 24-bit hardware words.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any node's child base exceeds the 8-bit address space.
+    pub fn pack(&self) -> Result<Vec<u32>, PackNodeError> {
+        self.nodes.iter().map(Node::pack).collect()
+    }
+
+    /// Whether a point lies in occupied space.
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        let probe = AabbF::new(p, Vec3::zero());
+        self.collides_with(|oct| oct.contains_point(p) || oct.overlaps(&probe))
+    }
+
+    /// Whether an axis-aligned query box touches occupied space.
+    pub fn overlaps_aabb(&self, q: &AabbF) -> bool {
+        self.collides_with(|oct| oct.overlaps(q))
+    }
+
+    /// Generic collision query: traverses the tree depth-first, calling
+    /// `overlaps_octant` for each *occupied* octant AABB. Returns `true` as
+    /// soon as a fully occupied octant passes the test; partially occupied
+    /// octants that pass are refined through their child node.
+    ///
+    /// This is the canonical object–octree collision algorithm of §2.2; the
+    /// OOCD hardware model executes the same traversal cycle by cycle.
+    pub fn collides_with(&self, mut overlaps_octant: impl FnMut(&AabbF) -> bool) -> bool {
+        self.collides_with_stats(&mut overlaps_octant).0
+    }
+
+    /// Like [`Octree::collides_with`], also returning traversal statistics.
+    pub fn collides_with_stats(
+        &self,
+        overlaps_octant: &mut impl FnMut(&AabbF) -> bool,
+    ) -> (bool, TraversalStats) {
+        let mut stats = TraversalStats::default();
+        let mut stack = vec![(0u32, self.root)];
+        while let Some((addr, aabb)) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = &self.nodes[addr as usize];
+            for octant in 0..8 {
+                let occ = node.occupancy(octant);
+                if !occ.is_occupied() {
+                    continue;
+                }
+                let oct_aabb = Octree::octant_aabb(&aabb, octant);
+                stats.tests_performed += 1;
+                if !overlaps_octant(&oct_aabb) {
+                    continue;
+                }
+                match occ {
+                    Occupancy::Full => return (true, stats),
+                    Occupancy::Partial => {
+                        let child = node
+                            .child_address(octant)
+                            .expect("partial octant must have a child");
+                        stack.push((child, oct_aabb));
+                    }
+                    Occupancy::Empty => unreachable!(),
+                }
+            }
+        }
+        (false, stats)
+    }
+
+    /// All fully occupied leaf boxes (useful for tests and visualization).
+    pub fn occupied_leaves(&self) -> Vec<AabbF> {
+        let mut out = Vec::new();
+        let mut stack = vec![(0u32, self.root)];
+        while let Some((addr, aabb)) = stack.pop() {
+            let node = &self.nodes[addr as usize];
+            for octant in 0..8 {
+                let oct_aabb = Octree::octant_aabb(&aabb, octant);
+                match node.occupancy(octant) {
+                    Occupancy::Full => out.push(oct_aabb),
+                    Occupancy::Partial => {
+                        stack.push((node.child_address(octant).unwrap(), oct_aabb));
+                    }
+                    Occupancy::Empty => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Prunes the tree to at most `max_depth` levels: partially occupied
+    /// octants at the new frontier become fully occupied.
+    ///
+    /// This is the §8 RoboRun-style variable-precision knob ("the
+    /// environment's octree representation supports variable precision
+    /// using octree node pruning"): a runtime can trade collision-detection
+    /// precision (more false positives, never false negatives) for SRAM
+    /// footprint and traversal latency, e.g. when the robot moves fast and
+    /// far from obstacles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth` is 0.
+    pub fn pruned(&self, max_depth: u32) -> Octree {
+        assert!(max_depth >= 1, "pruned tree needs at least one level");
+        if max_depth >= self.max_depth {
+            return self.clone();
+        }
+        // Rebuild breadth-first, truncating at the new depth.
+        let mut nodes = vec![Node::empty()];
+        let mut queue: VecDeque<(usize, u32, u32)> = VecDeque::new(); // new idx, old addr, depth
+        queue.push_back((0, 0, 0));
+        while let Some((new_idx, old_addr, depth)) = queue.pop_front() {
+            let old = self.nodes[old_addr as usize];
+            let mut node = Node::empty();
+            for octant in 0..8 {
+                let occ = match old.occupancy(octant) {
+                    Occupancy::Partial if depth + 1 >= max_depth => Occupancy::Full,
+                    other => other,
+                };
+                node.set_occupancy(octant, occ);
+            }
+            node.set_child_base(nodes.len() as u32);
+            for octant in 0..8 {
+                if node.occupancy(octant) == Occupancy::Partial {
+                    let old_child = old
+                        .child_address(octant)
+                        .expect("partial octant must have a child");
+                    let child_idx = nodes.len();
+                    nodes.push(Node::empty());
+                    queue.push_back((child_idx, old_child, depth + 1));
+                }
+            }
+            nodes[new_idx] = node;
+        }
+        Octree {
+            nodes,
+            root: self.root,
+            max_depth,
+        }
+    }
+
+    /// Fraction of the root volume that is occupied (leaf-quantized).
+    pub fn occupied_volume_fraction(&self) -> f32 {
+        let total: f32 = self.root.volume();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.occupied_leaves()
+            .iter()
+            .map(AabbF::volume)
+            .sum::<f32>()
+            / total
+    }
+}
+
+/// Classifies an octant against the obstacle set.
+fn classify(octant: &AabbF, obstacles: &[AabbF]) -> Occupancy {
+    let mut any_overlap = false;
+    for obs in obstacles {
+        if obs.contains_aabb(octant) {
+            return Occupancy::Full;
+        }
+        if obs.overlaps(octant) {
+            any_overlap = true;
+        }
+    }
+    if any_overlap {
+        Occupancy::Partial
+    } else {
+        Occupancy::Empty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_geometry::Aabb;
+
+    fn small_obstacle() -> AabbF {
+        Aabb::new(Vec3::new(0.5, 0.5, 0.5), Vec3::splat(0.08))
+    }
+
+    #[test]
+    fn empty_environment_is_a_single_empty_node() {
+        let t = Octree::build(&[], 4);
+        assert_eq!(t.node_count(), 1);
+        assert!(!t.contains_point(Vec3::zero()));
+        assert!(!t.overlaps_aabb(&Aabb::new(Vec3::zero(), Vec3::splat(1.0))));
+        assert_eq!(t.occupied_volume_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_depth")]
+    fn zero_depth_rejected() {
+        let _ = Octree::build(&[], 0);
+    }
+
+    #[test]
+    fn octant_indexing_covers_parent() {
+        let parent = Aabb::new(Vec3::new(0.1, -0.2, 0.3), Vec3::new(0.4, 0.6, 0.8));
+        let mut vol = 0.0;
+        for i in 0..8 {
+            let o = Octree::octant_aabb(&parent, i);
+            vol += o.volume();
+            // Tolerate an ulp of float rounding on the shared boundaries.
+            assert!(
+                o.min_corner()
+                    .min(parent.min_corner())
+                    .distance(parent.min_corner())
+                    < 1e-5
+            );
+            assert!(
+                o.max_corner()
+                    .max(parent.max_corner())
+                    .distance(parent.max_corner())
+                    < 1e-5
+            );
+        }
+        assert!((vol - parent.volume()).abs() < 1e-5);
+        // Octant 7 is the +x +y +z corner.
+        let o7 = Octree::octant_aabb(&parent, 7);
+        assert!(o7.center.x > parent.center.x);
+        assert!(o7.center.y > parent.center.y);
+        assert!(o7.center.z > parent.center.z);
+    }
+
+    #[test]
+    fn point_queries_match_obstacles() {
+        let obs = small_obstacle();
+        let t = Octree::build(&[obs], 5);
+        assert!(t.contains_point(obs.center));
+        assert!(!t.contains_point(Vec3::new(-0.5, -0.5, -0.5)));
+        // Conservative: points just outside may be flagged (leaf quantization),
+        // but points far outside must not be.
+        assert!(!t.contains_point(Vec3::new(0.5, 0.5, -0.5)));
+    }
+
+    #[test]
+    fn octree_overcovers_obstacles() {
+        // Every point inside an obstacle must be inside the octree's
+        // occupied set (no false negatives from leaf quantization).
+        let obs = [
+            Aabb::new(Vec3::new(0.33, -0.41, 0.12), Vec3::new(0.05, 0.11, 0.07)),
+            Aabb::new(Vec3::new(-0.6, 0.2, -0.3), Vec3::new(0.1, 0.04, 0.09)),
+        ];
+        let t = Octree::build(&obs, 4);
+        for o in &obs {
+            for dx in [-0.9f32, 0.0, 0.9] {
+                for dy in [-0.9f32, 0.0, 0.9] {
+                    for dz in [-0.9f32, 0.0, 0.9] {
+                        let p = o.center + Vec3::new(dx * o.half.x, dy * o.half.y, dz * o.half.z);
+                        assert!(t.contains_point(p), "missed interior point {p:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_trees_fit_obstacles_tighter() {
+        let obs = [small_obstacle()];
+        let shallow = Octree::build(&obs, 2);
+        let deep = Octree::build(&obs, 5);
+        assert!(deep.occupied_volume_fraction() < shallow.occupied_volume_fraction());
+        assert!(deep.node_count() > shallow.node_count());
+    }
+
+    #[test]
+    fn children_are_contiguous_blocks() {
+        let obs = [
+            small_obstacle(),
+            Aabb::new(Vec3::new(-0.4, 0.0, 0.0), Vec3::splat(0.1)),
+        ];
+        let t = Octree::build(&obs, 4);
+        for node in t.nodes() {
+            let addrs: Vec<u32> = (0..8).filter_map(|i| node.child_address(i)).collect();
+            for (k, &a) in addrs.iter().enumerate() {
+                assert_eq!(a, node.child_base() + k as u32);
+                assert!((a as usize) < t.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn full_octant_coverage_via_big_obstacle() {
+        // One obstacle covering the whole +x+y+z octant exactly.
+        let obs = Aabb::new(Vec3::splat(0.5), Vec3::splat(0.5));
+        let t = Octree::build(&[obs], 3);
+        assert_eq!(t.node(0).occupancy(7), Occupancy::Full);
+        // Only the root node is needed: nothing partial at depth 0 except none.
+        assert!(t.node(0).partial_octants().count() <= 7);
+    }
+
+    #[test]
+    fn traversal_stats_monotone_in_query_size() {
+        let obs = [
+            small_obstacle(),
+            Aabb::new(Vec3::new(-0.3, 0.4, -0.5), Vec3::splat(0.09)),
+        ];
+        let t = Octree::build(&obs, 5);
+        let small_q = Aabb::new(Vec3::new(0.9, 0.9, 0.9), Vec3::splat(0.01));
+        let big_q = Aabb::new(Vec3::zero(), Vec3::splat(0.95));
+        let mut f_small = |o: &AabbF| o.overlaps(&small_q);
+        let mut f_big = |o: &AabbF| o.overlaps(&big_q);
+        let (hit_small, s_small) = t.collides_with_stats(&mut f_small);
+        let (hit_big, s_big) = t.collides_with_stats(&mut f_big);
+        assert!(!hit_small);
+        assert!(hit_big);
+        assert!(s_small.tests_performed <= s_big.tests_performed + 16);
+        assert!(s_small.nodes_visited >= 1);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let t = Octree::build(&[small_obstacle()], 4);
+        assert_eq!(t.storage_bytes(), (t.node_count() * 24).div_ceil(8));
+        if t.node_count() <= 256 {
+            assert!(t.fits_hardware());
+            let packed = t.pack().unwrap();
+            assert_eq!(packed.len(), t.node_count());
+            for (i, &w) in packed.iter().enumerate() {
+                assert_eq!(&Node::unpack(w).unwrap(), t.node(i as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_is_conservative_and_smaller() {
+        let obs = [
+            small_obstacle(),
+            Aabb::new(Vec3::new(-0.4, 0.3, -0.2), Vec3::splat(0.07)),
+        ];
+        let full = Octree::build(&obs, 5);
+        for depth in [1, 2, 3, 4] {
+            let pruned = full.pruned(depth);
+            assert_eq!(pruned.max_depth(), depth);
+            assert!(pruned.node_count() <= full.node_count());
+            assert!(pruned.storage_bytes() <= full.storage_bytes());
+            // Conservative: everything occupied in the full tree stays
+            // occupied in the pruned tree.
+            for leaf in full.occupied_leaves() {
+                assert!(
+                    pruned.overlaps_aabb(&leaf),
+                    "depth {depth} lost occupied leaf {leaf:?}"
+                );
+            }
+            // Volume only grows as precision drops.
+            assert!(pruned.occupied_volume_fraction() >= full.occupied_volume_fraction() - 1e-6);
+        }
+        // Pruning to >= current depth is a no-op.
+        assert_eq!(full.pruned(5), full);
+        assert_eq!(full.pruned(9), full);
+    }
+
+    #[test]
+    fn pruning_reduces_volume_precision_monotonically() {
+        let obs = [small_obstacle()];
+        let full = Octree::build(&obs, 5);
+        let mut last = 0.0f32;
+        for depth in [5, 4, 3, 2, 1] {
+            let v = full.pruned(depth).occupied_volume_fraction();
+            assert!(v >= last - 1e-6, "volume should grow as depth shrinks");
+            last = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn pruning_to_zero_rejected() {
+        let _ = Octree::build(&[small_obstacle()], 4).pruned(0);
+    }
+
+    #[test]
+    fn occupied_leaves_cover_and_only_cover_occupied_space() {
+        let obs = [small_obstacle()];
+        let t = Octree::build(&obs, 4);
+        let leaves = t.occupied_leaves();
+        assert!(!leaves.is_empty());
+        // Every leaf overlaps the obstacle (they were carved from it).
+        for leaf in &leaves {
+            assert!(
+                obs[0].overlaps(leaf),
+                "leaf {leaf:?} does not touch obstacle"
+            );
+        }
+    }
+}

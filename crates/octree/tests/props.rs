@@ -1,0 +1,109 @@
+//! Property-based tests for octree construction and traversal.
+
+use mp_geometry::{Aabb, AabbF, Vec3};
+use mp_octree::{Node, Octree, Scene, SceneConfig};
+use proptest::prelude::*;
+
+fn any_obstacle() -> impl Strategy<Value = AabbF> {
+    (
+        -0.8f32..0.8,
+        -0.8f32..0.8,
+        -0.8f32..0.8,
+        0.03f32..0.15,
+        0.03f32..0.15,
+        0.03f32..0.15,
+    )
+        .prop_map(|(x, y, z, hx, hy, hz)| Aabb::new(Vec3::new(x, y, z), Vec3::new(hx, hy, hz)))
+}
+
+fn any_obstacles() -> impl Strategy<Value = Vec<AabbF>> {
+    prop::collection::vec(any_obstacle(), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The octree must over-cover the obstacles: every point inside an
+    /// obstacle is inside the tree's occupied space (no false negatives).
+    #[test]
+    fn tree_overcovers_obstacles(obstacles in any_obstacles(), depth in 2u32..6) {
+        let tree = Octree::build(&obstacles, depth);
+        for o in &obstacles {
+            for corner_mix in 0..8 {
+                let s = |bit: usize| if corner_mix >> bit & 1 == 0 { -0.99 } else { 0.99 };
+                let p = o.center + Vec3::new(s(0) * o.half.x, s(1) * o.half.y, s(2) * o.half.z);
+                prop_assert!(tree.contains_point(p), "lost point {p:?} of obstacle {o:?}");
+            }
+        }
+    }
+
+    /// Points far from all obstacles must stay free: the leaf quantization
+    /// can inflate occupancy by at most one leaf cell.
+    #[test]
+    fn tree_does_not_overreach_by_more_than_a_leaf(obstacles in any_obstacles(), depth in 3u32..6) {
+        let tree = Octree::build(&obstacles, depth);
+        let leaf = 2.0 / (1 << depth) as f32; // leaf edge length
+        // Probe a fixed grid of points; any occupied probe must be within
+        // one leaf diagonal of some obstacle.
+        for xi in -3i32..=3 {
+            for yi in -3i32..=3 {
+                for zi in -3i32..=3 {
+                    let p = Vec3::new(xi as f32 / 3.2, yi as f32 / 3.2, zi as f32 / 3.2);
+                    if tree.contains_point(p) {
+                        let near = obstacles.iter().any(|o| {
+                            (o.closest_point(p) - p).length() <= leaf * 1.8
+                        });
+                        prop_assert!(near, "point {p:?} occupied but far from all obstacles");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Node child blocks are contiguous and in-bounds, and every packed
+    /// word decodes back to the node (when the tree fits the 8-bit space).
+    #[test]
+    fn node_layout_invariants(obstacles in any_obstacles(), depth in 2u32..5) {
+        let tree = Octree::build(&obstacles, depth);
+        for node in tree.nodes() {
+            let addrs: Vec<u32> = (0..8).filter_map(|i| node.child_address(i)).collect();
+            for (k, &a) in addrs.iter().enumerate() {
+                prop_assert_eq!(a, node.child_base() + k as u32);
+                prop_assert!((a as usize) < tree.node_count());
+            }
+        }
+        if tree.fits_hardware() {
+            let packed = tree.pack().unwrap();
+            for (i, &w) in packed.iter().enumerate() {
+                prop_assert!(w < (1 << 24));
+                prop_assert_eq!(&Node::unpack(w).unwrap(), tree.node(i as u32));
+            }
+        }
+    }
+
+    /// An AABB query against the octree agrees with the direct
+    /// obstacle-set query up to leaf quantization: obstacle-set hit implies
+    /// octree hit.
+    #[test]
+    fn aabb_query_conservative(obstacles in any_obstacles(), q in any_obstacle()) {
+        let tree = Octree::build(&obstacles, 4);
+        let direct_hit = obstacles.iter().any(|o| o.overlaps(&q));
+        if direct_hit {
+            prop_assert!(tree.overlaps_aabb(&q));
+        }
+    }
+
+    /// Scene generation always respects its configured invariants.
+    #[test]
+    fn scenes_respect_invariants(seed in 0u64..500) {
+        let s = Scene::random(SceneConfig::paper(), seed);
+        prop_assert!((5..=9).contains(&s.obstacles().len()));
+        for o in s.obstacles() {
+            prop_assert!(o.closest_point(Vec3::zero()).length() >= 0.3 - 1e-6);
+            prop_assert!(o.max_corner().max_element() <= 1.0 + 1e-6);
+            prop_assert!(o.min_corner().min_element() >= -1.0 - 1e-6);
+        }
+        // Trees over benchmark-style scenes stay within hardware budget.
+        prop_assert!(s.octree().fits_hardware());
+    }
+}

@@ -1,0 +1,30 @@
+//! Sampling-based motion planners for the MPAccel reproduction.
+//!
+//! The paper evaluates MPAccel by executing MPNet \[43\], a state-of-the-art
+//! learning-based planner, on the accelerator. This crate provides:
+//!
+//! * [`nn`] — a from-scratch MLP (inference + SGD training) substituting
+//!   for the PyTorch networks of the original artifact,
+//! * [`sampler`] — the neural samplers proposing intermediate poses: a
+//!   goal-directed stochastic *oracle* and a trainable [`sampler::MlpSampler`]
+//!   distillable from it,
+//! * [`mpnet`] — the MPNet-style planner (neural planning → feasibility
+//!   checking → replanning → greedy shortcutting) that records a
+//!   [`mpaccel_core::trace::PlannerTrace`] replayable on the hardware
+//!   models,
+//! * [`rrt`](mod@rrt) — classical RRT / RRT-Connect baselines,
+//! * [`queries`] — benchmark query generation (§6: 100 start/goal pairs
+//!   per scene).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mpnet;
+pub mod nn;
+pub mod queries;
+pub mod rrt;
+pub mod sampler;
+
+pub use mpnet::{plan, MpnetConfig, PlanOutcome, PlanStats};
+pub use rrt::{rrt, rrt_connect, RrtConfig, RrtOutcome};
+pub use sampler::{encode_scene, MlpSampler, NeuralSampler, OracleSampler};

@@ -1,0 +1,568 @@
+//! An MPNet-style learning-based motion planner (§2.1, \[43\]).
+//!
+//! The planner follows MPNet's structure: a neural sampler proposes
+//! intermediate poses bidirectionally between start and goal (neural
+//! planning), the resulting coarse path is *feasibility checked* in
+//! batches, infeasible segments are *replanned* with stochastic resampling,
+//! and the final path is smoothed by *greedy shortcutting* ("path
+//! optimization", Fig 3) which uses the scheduler's connectivity-test mode.
+//!
+//! Every neural inference, controller step and collision-detection batch is
+//! recorded into a [`PlannerTrace`], which `mpaccel-core` replays against
+//! the hardware models — mirroring the trace-driven methodology of the
+//! original artifact.
+
+use mp_collision::CollisionChecker;
+use mp_robot::{JointConfig, Motion, MotionDescriptor};
+use mpaccel_core::sas::FunctionMode;
+use mpaccel_core::trace::{PlannerTrace, TraceEvent};
+
+use crate::sampler::NeuralSampler;
+
+/// Planner parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MpnetConfig {
+    /// Maximum bidirectional expansion steps in neural planning.
+    pub max_expansion_steps: usize,
+    /// Maximum replanning insertions before giving up.
+    pub replan_attempts: usize,
+    /// C-space discretization step for motion checking (radians).
+    pub cspace_step: f32,
+    /// Whether to run the greedy shortcutting phase.
+    pub shortcut: bool,
+    /// Hard cap on path waypoints (guards replanning growth).
+    pub max_waypoints: usize,
+    /// Extra detour noise during replanning (radians). MPNet gets this
+    /// exploration from inference-time dropout; the noise escalates with
+    /// consecutive failed repairs.
+    pub replan_noise: f32,
+    /// Seed for the replanning noise.
+    pub seed: u64,
+}
+
+impl Default for MpnetConfig {
+    fn default() -> MpnetConfig {
+        MpnetConfig {
+            max_expansion_steps: 40,
+            replan_attempts: 20,
+            cspace_step: 0.04,
+            shortcut: true,
+            max_waypoints: 64,
+            replan_noise: 0.6,
+            seed: 0,
+        }
+    }
+}
+
+/// Planner statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Neural-network inferences performed.
+    pub nn_calls: u64,
+    /// Collision-detection pose queries executed while planning.
+    pub cd_queries: u64,
+    /// Waypoints in the coarse path before optimization.
+    pub coarse_waypoints: usize,
+    /// Replanning insertions performed.
+    pub replans: u64,
+    /// Waypoints removed by shortcutting.
+    pub shortcut_removed: usize,
+}
+
+/// The planner's result: a path (if found), the execution trace, and stats.
+#[derive(Clone, Debug)]
+pub struct PlanOutcome {
+    /// The collision-free path, start to goal, if planning succeeded.
+    pub path: Option<Vec<JointConfig>>,
+    /// The recorded execution trace (replayable on MPAccel).
+    pub trace: PlannerTrace,
+    /// Work statistics.
+    pub stats: PlanStats,
+}
+
+impl PlanOutcome {
+    /// Whether a path was found.
+    pub fn solved(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// C-space length of the found path.
+    pub fn path_length(&self) -> Option<f32> {
+        self.path
+            .as_ref()
+            .map(|p| p.windows(2).map(|w| w[0].distance(&w[1])).sum())
+    }
+}
+
+/// Plans a path from `start` to `goal`.
+///
+/// # Panics
+///
+/// Panics if start/goal DOF mismatch the checker's robot.
+///
+/// # Examples
+///
+/// ```
+/// use mp_collision::SoftwareChecker;
+/// use mp_octree::Octree;
+/// use mp_planner::mpnet::{plan, MpnetConfig};
+/// use mp_planner::sampler::OracleSampler;
+/// use mp_robot::RobotModel;
+///
+/// let robot = RobotModel::jaco2();
+/// let mut checker = SoftwareChecker::new(robot.clone(), Octree::build(&[], 3));
+/// let mut sampler = OracleSampler::new(robot.clone(), 1);
+/// let mut goal = robot.home();
+/// goal.as_mut_slice()[0] += 1.0;
+/// let out = plan(&mut checker, &mut sampler, &robot.home(), &goal, &MpnetConfig::default());
+/// assert!(out.solved());
+/// ```
+pub fn plan(
+    checker: &mut impl CollisionChecker,
+    sampler: &mut impl NeuralSampler,
+    start: &JointConfig,
+    goal: &JointConfig,
+    cfg: &MpnetConfig,
+) -> PlanOutcome {
+    let mut trace = PlannerTrace::new();
+    let mut stats = PlanStats::default();
+    let step = cfg.cspace_step;
+    let cd_before = checker.stats().pose_queries;
+
+    // Environment + query upload (Fig 11, step 1).
+    trace.push(TraceEvent::BusTransfer {
+        bytes: 768 + (4 * start.dof() as u64) * 2,
+    });
+
+    // Endpoint validity.
+    if checker.check_pose(start) || checker.check_pose(goal) {
+        stats.cd_queries = checker.stats().pose_queries - cd_before;
+        return PlanOutcome {
+            path: None,
+            trace,
+            stats,
+        };
+    }
+
+    // --- Phase 1: bidirectional neural planning. ---
+    let mut path_a = vec![start.clone()];
+    let mut path_b = vec![goal.clone()];
+    let mut connected = false;
+    for _ in 0..cfg.max_expansion_steps {
+        let end_a = path_a.last().expect("non-empty").clone();
+        let end_b = path_b.last().expect("non-empty").clone();
+        // Direct connection attempt (one-motion feasibility batch).
+        let m = Motion::new(end_a.clone(), end_b.clone());
+        if run_feasibility_batch(checker, &mut trace, &[m], step).is_none() {
+            connected = true;
+            break;
+        }
+        // Propose the next pose from the active end, rejecting proposals
+        // that land inside obstacles (a colliding waypoint can never be
+        // repaired by replanning around it).
+        let mut next = None;
+        for _ in 0..5 {
+            trace.push(TraceEvent::NnInference {
+                macs: sampler.macs(),
+            });
+            stats.nn_calls += 1;
+            let candidate = sampler.next_pose(&end_a, &end_b);
+            if !checker.check_pose(&candidate) {
+                next = Some(candidate);
+                break;
+            }
+        }
+        trace.push(TraceEvent::Controller { instructions: 300 });
+        if let Some(next) = next {
+            path_a.push(next);
+        }
+        std::mem::swap(&mut path_a, &mut path_b);
+    }
+    if !connected {
+        stats.cd_queries = checker.stats().pose_queries - cd_before;
+        return PlanOutcome {
+            path: None,
+            trace,
+            stats,
+        };
+    }
+    path_b.reverse();
+    let mut path: Vec<JointConfig> = path_a;
+    path.extend(path_b);
+    // Re-orient: the swapping may have left `start` at the back.
+    if path.first() != Some(start) {
+        path.reverse();
+    }
+    dedup_consecutive(&mut path);
+    stats.coarse_waypoints = path.len();
+
+    // --- Phase 2: feasibility checking + neural replanning. ---
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+    let robot = checker.robot().clone();
+    let mut attempts = cfg.replan_attempts;
+    let mut consecutive_failures = 0u32;
+    let mut last_bad = usize::MAX;
+    loop {
+        let motions: Vec<Motion> = path
+            .windows(2)
+            .map(|w| Motion::new(w[0].clone(), w[1].clone()))
+            .collect();
+        match run_feasibility_batch(checker, &mut trace, &motions, step) {
+            None => break, // whole path feasible
+            Some(bad) => {
+                if attempts == 0 || path.len() >= cfg.max_waypoints {
+                    stats.cd_queries = checker.stats().pose_queries - cd_before;
+                    return PlanOutcome {
+                        path: None,
+                        trace,
+                        stats,
+                    };
+                }
+                attempts -= 1;
+                stats.replans += 1;
+                // Neural replanning: propose a detour waypoint between the
+                // endpoints of the infeasible segment. The exploration
+                // noise escalates while repairs keep failing on the same
+                // segment (MPNet's stochastic re-sampling role).
+                consecutive_failures = if bad == last_bad {
+                    consecutive_failures + 1
+                } else {
+                    0
+                };
+                last_bad = bad;
+                trace.push(TraceEvent::NnInference {
+                    macs: sampler.macs(),
+                });
+                stats.nn_calls += 1;
+                let amp = cfg.replan_noise * (1.0 + consecutive_failures as f32 * 0.5);
+                let mut detour = None;
+                for _ in 0..5 {
+                    let proposal = sampler.next_pose(&path[bad], &path[bad + 1]);
+                    let candidate = robot.clamp_config(&JointConfig::new(
+                        proposal
+                            .as_slice()
+                            .iter()
+                            .map(|&v| v + rng.gen_range(-amp..=amp))
+                            .collect(),
+                    ));
+                    if !checker.check_pose(&candidate) {
+                        detour = Some(candidate);
+                        break;
+                    }
+                }
+                let Some(detour) = detour else { continue };
+                trace.push(TraceEvent::Controller { instructions: 500 });
+                // A repair replaces a previously inserted detour for this
+                // segment rather than growing the path unboundedly.
+                if consecutive_failures > 0 && bad + 1 < path.len() - 1 {
+                    path[bad + 1] = detour;
+                } else {
+                    path.insert(bad + 1, detour);
+                }
+                dedup_consecutive(&mut path);
+            }
+        }
+    }
+
+    // --- Phase 3: path optimization (greedy shortcutting, §2.1). ---
+    if cfg.shortcut {
+        let before = path.len();
+        greedy_shortcut(checker, &mut trace, &mut path, step);
+        stats.shortcut_removed = before - path.len();
+    }
+
+    trace.solved = true;
+    stats.cd_queries = checker.stats().pose_queries - cd_before;
+    PlanOutcome {
+        path: Some(path),
+        trace,
+        stats,
+    }
+}
+
+/// Runs a feasibility batch: records the batch into the trace and evaluates
+/// it with sequential early-exit semantics, returning the index of the
+/// first infeasible motion (or `None` if all are free).
+fn run_feasibility_batch(
+    checker: &mut impl CollisionChecker,
+    trace: &mut PlannerTrace,
+    motions: &[Motion],
+    step: f32,
+) -> Option<usize> {
+    let descriptors: Vec<MotionDescriptor> = motions.iter().map(|m| m.descriptor(step)).collect();
+    trace.push(TraceEvent::CdBatch {
+        motions: descriptors,
+        mode: FunctionMode::Feasibility,
+    });
+    for (i, m) in motions.iter().enumerate() {
+        if mp_collision::check_motion(checker, m, step).colliding {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Greedy shortcutting using the connectivity-test mode: for each anchor,
+/// the pool of "skip ahead to j" motions is scheduled and the farthest
+/// collision-free one wins (§2.1, Fig 3 "path optimization").
+fn greedy_shortcut(
+    checker: &mut impl CollisionChecker,
+    trace: &mut PlannerTrace,
+    path: &mut Vec<JointConfig>,
+    step: f32,
+) {
+    let mut i = 0;
+    while i + 2 < path.len() {
+        // Candidate motions i -> j, farthest first.
+        let candidates: Vec<usize> = ((i + 2)..path.len()).rev().collect();
+        let motions: Vec<MotionDescriptor> = candidates
+            .iter()
+            .map(|&j| Motion::new(path[i].clone(), path[j].clone()).descriptor(step))
+            .collect();
+        trace.push(TraceEvent::CdBatch {
+            motions,
+            mode: FunctionMode::Connectivity,
+        });
+        let mut found = None;
+        for &j in &candidates {
+            let m = Motion::new(path[i].clone(), path[j].clone());
+            if !mp_collision::check_motion(checker, &m, step).colliding {
+                found = Some(j);
+                break;
+            }
+        }
+        if let Some(j) = found {
+            // Poses between i and j are redundant.
+            path.drain(i + 1..j);
+        }
+        i += 1;
+    }
+}
+
+/// Removes consecutive duplicate waypoints.
+fn dedup_consecutive(path: &mut Vec<JointConfig>) {
+    path.dedup_by(|a, b| a.distance(b) < 1e-6);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::OracleSampler;
+    use mp_collision::{check_path, SoftwareChecker};
+    use mp_geometry::{Aabb, Vec3};
+    use mp_octree::{Octree, Scene, SceneConfig};
+    use mp_robot::RobotModel;
+
+    fn far_goal(robot: &RobotModel) -> JointConfig {
+        let mut g = robot.home();
+        g.as_mut_slice()[0] += 1.6;
+        g.as_mut_slice()[1] += 0.4;
+        robot.clamp_config(&g)
+    }
+
+    #[test]
+    fn plans_in_free_space() {
+        let robot = RobotModel::jaco2();
+        let mut checker = SoftwareChecker::new(robot.clone(), Octree::build(&[], 3));
+        let mut sampler = OracleSampler::new(robot.clone(), 2);
+        let out = plan(
+            &mut checker,
+            &mut sampler,
+            &robot.home(),
+            &far_goal(&robot),
+            &MpnetConfig::default(),
+        );
+        assert!(out.solved());
+        let path = out.path.unwrap();
+        assert_eq!(path.first().unwrap(), &robot.home());
+        assert_eq!(path.last().unwrap(), &far_goal(&robot));
+        assert!(out.trace.solved);
+        assert!(out.trace.cd_batches() >= 1);
+    }
+
+    #[test]
+    fn found_paths_are_actually_feasible() {
+        let robot = RobotModel::jaco2();
+        let mut solved = 0;
+        let mut total = 0;
+        for seed in 0..4 {
+            let scene = Scene::random(SceneConfig::paper(), seed);
+            for (qi, q) in crate::queries::generate_queries(&robot, &scene, 3, seed + 50)
+                .iter()
+                .enumerate()
+            {
+                total += 1;
+                let mut checker = SoftwareChecker::new(robot.clone(), scene.octree());
+                let mut sampler = OracleSampler::new(robot.clone(), seed + 10 + qi as u64);
+                let out = plan(
+                    &mut checker,
+                    &mut sampler,
+                    &q.start,
+                    &q.goal,
+                    &MpnetConfig::default(),
+                );
+                if let Some(path) = &out.path {
+                    solved += 1;
+                    // Independent verification with a fresh checker.
+                    let mut verifier = SoftwareChecker::new(robot.clone(), scene.octree());
+                    assert_eq!(
+                        check_path(&mut verifier, path, 0.04),
+                        None,
+                        "planner returned an infeasible path on seed {seed} query {qi}"
+                    );
+                    assert_eq!(path.first().unwrap(), &q.start);
+                    assert_eq!(path.last().unwrap(), &q.goal);
+                }
+            }
+        }
+        assert!(
+            solved * 3 >= total * 2,
+            "only {solved}/{total} valid queries solved"
+        );
+    }
+
+    #[test]
+    fn planner_detours_around_blocking_obstacle() {
+        let robot = RobotModel::planar_2dof();
+        // Wall in front of the straight-line sweep.
+        let block = Aabb::new(Vec3::new(0.55, 0.35, 0.0), Vec3::new(0.08, 0.08, 0.3));
+        let tree = Octree::build(&[block], 5);
+        let mut checker = SoftwareChecker::new(robot.clone(), tree);
+        let start = JointConfig::new(vec![0.0, 0.0]);
+        let goal = JointConfig::new(vec![1.5, 0.0]);
+        // Straight line must be infeasible for the test to be meaningful.
+        assert!(
+            mp_collision::check_motion(
+                &mut checker,
+                &Motion::new(start.clone(), goal.clone()),
+                0.04
+            )
+            .colliding
+        );
+        // The only detours fold the elbow *away* from the wall — a narrow
+        // region the goal-directed sampler must discover stochastically
+        // (real MPNet gets this from its learned distribution). Require at
+        // least one success over a batch of seeds, and verify that success.
+        let mut solved_any = false;
+        for seed in 0..12 {
+            let mut sampler = OracleSampler::new(robot.clone(), seed)
+                .with_noise(0.6)
+                .with_step(0.5);
+            let cfg = MpnetConfig {
+                replan_attempts: 30,
+                max_expansion_steps: 60,
+                seed,
+                ..MpnetConfig::default()
+            };
+            let out = plan(&mut checker, &mut sampler, &start, &goal, &cfg);
+            if let Some(path) = &out.path {
+                assert!(path.len() >= 3, "a detour needs intermediate waypoints");
+                let mut verifier = SoftwareChecker::new(robot.clone(), checker.octree().clone());
+                assert_eq!(check_path(&mut verifier, path, 0.04), None);
+                solved_any = true;
+                break;
+            }
+        }
+        assert!(
+            solved_any,
+            "planner failed on a solvable scene for every seed"
+        );
+    }
+
+    #[test]
+    fn shortcutting_shortens_paths() {
+        let robot = RobotModel::jaco2();
+        let mut checker = SoftwareChecker::new(robot.clone(), Octree::build(&[], 3));
+        let mut noisy = OracleSampler::new(robot.clone(), 8)
+            .with_noise(0.5)
+            .with_step(0.4);
+        let goal = far_goal(&robot);
+        let with = plan(
+            &mut checker,
+            &mut noisy,
+            &robot.home(),
+            &goal,
+            &MpnetConfig::default(),
+        );
+        let mut noisy2 = OracleSampler::new(robot.clone(), 8)
+            .with_noise(0.5)
+            .with_step(0.4);
+        let without = plan(
+            &mut checker,
+            &mut noisy2,
+            &robot.home(),
+            &goal,
+            &MpnetConfig {
+                shortcut: false,
+                ..MpnetConfig::default()
+            },
+        );
+        let (Some(lw), Some(lo)) = (with.path_length(), without.path_length()) else {
+            panic!("both plans should succeed in free space");
+        };
+        assert!(lw <= lo + 1e-4, "shortcut path {lw} longer than raw {lo}");
+    }
+
+    #[test]
+    fn colliding_endpoints_fail_fast() {
+        let robot = RobotModel::jaco2();
+        // Obstacle right on the home pose end effector.
+        let ee = mp_robot::fk::end_effector(&robot, &robot.home());
+        let tree = Octree::build(&[Aabb::new(ee, Vec3::splat(0.1))], 5);
+        let mut checker = SoftwareChecker::new(robot.clone(), tree);
+        let mut sampler = OracleSampler::new(robot.clone(), 0);
+        let out = plan(
+            &mut checker,
+            &mut sampler,
+            &robot.home(),
+            &far_goal(&robot),
+            &MpnetConfig::default(),
+        );
+        assert!(!out.solved());
+        assert_eq!(out.trace.cd_batches(), 0); // failed before any batch
+    }
+
+    #[test]
+    fn trace_contains_all_phase_kinds_on_success() {
+        let robot = RobotModel::jaco2();
+        let scene = Scene::random(SceneConfig::paper(), 1);
+        let mut checker = SoftwareChecker::new(robot.clone(), scene.octree());
+        let mut sampler = OracleSampler::new(robot.clone(), 3)
+            .with_noise(0.3)
+            .with_step(0.5);
+        let out = plan(
+            &mut checker,
+            &mut sampler,
+            &robot.home(),
+            &far_goal(&robot),
+            &MpnetConfig::default(),
+        );
+        if out.solved() {
+            assert!(out.trace.nn_inferences() >= 1);
+            let has_connectivity = out.trace.events.iter().any(|e| {
+                matches!(
+                    e,
+                    TraceEvent::CdBatch {
+                        mode: FunctionMode::Connectivity,
+                        ..
+                    }
+                )
+            });
+            let has_feasibility = out.trace.events.iter().any(|e| {
+                matches!(
+                    e,
+                    TraceEvent::CdBatch {
+                        mode: FunctionMode::Feasibility,
+                        ..
+                    }
+                )
+            });
+            assert!(has_feasibility);
+            // Connectivity batches appear when the path had >2 waypoints.
+            if out.stats.coarse_waypoints > 2 {
+                assert!(has_connectivity);
+            }
+        }
+    }
+}

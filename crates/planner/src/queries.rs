@@ -1,0 +1,82 @@
+//! Benchmark query generation (§6: "100 pairs of start and end goals per
+//! each environmental scenario").
+
+use mp_collision::{CollisionChecker, SoftwareChecker};
+use mp_octree::Scene;
+use mp_robot::{JointConfig, RobotModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A start/goal pair for one motion-planning query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanningQuery {
+    /// Start configuration (collision-free).
+    pub start: JointConfig,
+    /// Goal configuration (collision-free).
+    pub goal: JointConfig,
+}
+
+/// Generates `count` valid (collision-free, well-separated) start/goal
+/// pairs for a robot in a scene. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if valid pairs cannot be found within a generous sampling budget
+/// (which indicates a degenerate scene).
+pub fn generate_queries(
+    robot: &RobotModel,
+    scene: &Scene,
+    count: usize,
+    seed: u64,
+) -> Vec<PlanningQuery> {
+    let mut checker = SoftwareChecker::new(robot.clone(), scene.octree());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let min_sep = 1.0; // radians L2: make queries non-trivial
+    let mut budget = count * 400;
+    while out.len() < count {
+        assert!(budget > 0, "could not sample valid queries for this scene");
+        budget -= 1;
+        let start = robot.sample_config(&mut rng);
+        if checker.check_pose(&start) {
+            continue;
+        }
+        let goal = robot.sample_config(&mut rng);
+        if checker.check_pose(&goal) || start.distance(&goal) < min_sep {
+            continue;
+        }
+        out.push(PlanningQuery { start, goal });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_octree::SceneConfig;
+
+    #[test]
+    fn queries_are_valid_and_separated() {
+        let robot = RobotModel::jaco2();
+        let scene = Scene::random(SceneConfig::paper(), 0);
+        let qs = generate_queries(&robot, &scene, 10, 42);
+        assert_eq!(qs.len(), 10);
+        let mut checker = SoftwareChecker::new(robot.clone(), scene.octree());
+        for q in &qs {
+            assert!(!checker.check_pose(&q.start));
+            assert!(!checker.check_pose(&q.goal));
+            assert!(q.start.distance(&q.goal) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let robot = RobotModel::baxter();
+        let scene = Scene::random(SceneConfig::paper(), 1);
+        let a = generate_queries(&robot, &scene, 5, 7);
+        let b = generate_queries(&robot, &scene, 5, 7);
+        assert_eq!(a, b);
+        let c = generate_queries(&robot, &scene, 5, 8);
+        assert_ne!(a, c);
+    }
+}

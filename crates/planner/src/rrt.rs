@@ -1,0 +1,353 @@
+//! Classical sampling-based planners: RRT and RRT-Connect.
+//!
+//! These are the "traditional sampling-based motion planning algorithms"
+//! MPNet is compared against (§1: "MPNet has shown 15× speedup on CPU and
+//! 40% improvement in the path quality compared to the traditional
+//! sampling-based motion planning algorithms"). They serve as workload
+//! baselines: far more collision-detection queries per solved query.
+
+use mp_collision::{check_motion, CollisionChecker};
+use mp_robot::{JointConfig, Motion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RRT parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RrtConfig {
+    /// Maximum tree nodes before giving up.
+    pub max_nodes: usize,
+    /// Steering step (C-space L2 radians).
+    pub steer_step: f32,
+    /// Probability of sampling the goal directly (goal bias).
+    pub goal_bias: f32,
+    /// C-space discretization for edge checking.
+    pub cspace_step: f32,
+}
+
+impl Default for RrtConfig {
+    fn default() -> RrtConfig {
+        RrtConfig {
+            max_nodes: 2000,
+            steer_step: 0.5,
+            goal_bias: 0.1,
+            cspace_step: 0.04,
+        }
+    }
+}
+
+/// Result of a classical planning run.
+#[derive(Clone, Debug)]
+pub struct RrtOutcome {
+    /// The path, if found.
+    pub path: Option<Vec<JointConfig>>,
+    /// Tree nodes expanded.
+    pub nodes: usize,
+    /// CD pose queries executed.
+    pub cd_queries: u64,
+}
+
+impl RrtOutcome {
+    /// Whether a path was found.
+    pub fn solved(&self) -> bool {
+        self.path.is_some()
+    }
+}
+
+struct Tree {
+    nodes: Vec<JointConfig>,
+    parents: Vec<usize>,
+}
+
+impl Tree {
+    fn new(root: JointConfig) -> Tree {
+        Tree {
+            nodes: vec![root],
+            parents: vec![0],
+        }
+    }
+
+    fn nearest(&self, q: &JointConfig) -> usize {
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let d = n.distance(q);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn path_to_root(&self, mut i: usize) -> Vec<JointConfig> {
+        let mut out = vec![self.nodes[i].clone()];
+        while self.parents[i] != i {
+            i = self.parents[i];
+            out.push(self.nodes[i].clone());
+        }
+        out.reverse();
+        out
+    }
+}
+
+fn steer(from: &JointConfig, to: &JointConfig, step: f32) -> JointConfig {
+    let d = from.distance(to);
+    if d <= step {
+        to.clone()
+    } else {
+        from.lerp(to, step / d)
+    }
+}
+
+/// Plain RRT with goal bias.
+///
+/// # Panics
+///
+/// Panics if start/goal DOF mismatch the robot.
+pub fn rrt(
+    checker: &mut impl CollisionChecker,
+    start: &JointConfig,
+    goal: &JointConfig,
+    cfg: &RrtConfig,
+    seed: u64,
+) -> RrtOutcome {
+    let robot = checker.robot().clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cd_before = checker.stats().pose_queries;
+    if checker.check_pose(start) || checker.check_pose(goal) {
+        return RrtOutcome {
+            path: None,
+            nodes: 0,
+            cd_queries: checker.stats().pose_queries - cd_before,
+        };
+    }
+    let mut tree = Tree::new(start.clone());
+    while tree.nodes.len() < cfg.max_nodes {
+        let target = if rng.gen::<f32>() < cfg.goal_bias {
+            goal.clone()
+        } else {
+            robot.sample_config(&mut rng)
+        };
+        let near = tree.nearest(&target);
+        let new = steer(&tree.nodes[near], &target, cfg.steer_step);
+        let edge = Motion::new(tree.nodes[near].clone(), new.clone());
+        if check_motion(checker, &edge, cfg.cspace_step).colliding {
+            continue;
+        }
+        tree.nodes.push(new.clone());
+        tree.parents.push(near);
+        // Goal connection attempt.
+        let to_goal = Motion::new(new.clone(), goal.clone());
+        if new.distance(goal) <= cfg.steer_step
+            && !check_motion(checker, &to_goal, cfg.cspace_step).colliding
+        {
+            let mut path = tree.path_to_root(tree.nodes.len() - 1);
+            path.push(goal.clone());
+            return RrtOutcome {
+                path: Some(path),
+                nodes: tree.nodes.len(),
+                cd_queries: checker.stats().pose_queries - cd_before,
+            };
+        }
+    }
+    RrtOutcome {
+        path: None,
+        nodes: tree.nodes.len(),
+        cd_queries: checker.stats().pose_queries - cd_before,
+    }
+}
+
+/// RRT-Connect: two trees grown toward each other with a greedy connect
+/// heuristic. Usually far fewer samples than plain RRT.
+///
+/// # Panics
+///
+/// Panics if start/goal DOF mismatch the robot.
+pub fn rrt_connect(
+    checker: &mut impl CollisionChecker,
+    start: &JointConfig,
+    goal: &JointConfig,
+    cfg: &RrtConfig,
+    seed: u64,
+) -> RrtOutcome {
+    let robot = checker.robot().clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cd_before = checker.stats().pose_queries;
+    if checker.check_pose(start) || checker.check_pose(goal) {
+        return RrtOutcome {
+            path: None,
+            nodes: 0,
+            cd_queries: checker.stats().pose_queries - cd_before,
+        };
+    }
+    let mut ta = Tree::new(start.clone());
+    let mut tb = Tree::new(goal.clone());
+    let mut a_is_start = true;
+
+    while ta.nodes.len() + tb.nodes.len() < cfg.max_nodes {
+        let target = robot.sample_config(&mut rng);
+        // Extend tree A toward the sample.
+        let near_a = ta.nearest(&target);
+        let new_a = steer(&ta.nodes[near_a], &target, cfg.steer_step);
+        let edge = Motion::new(ta.nodes[near_a].clone(), new_a.clone());
+        if !check_motion(checker, &edge, cfg.cspace_step).colliding {
+            ta.nodes.push(new_a.clone());
+            ta.parents.push(near_a);
+            // Greedily connect tree B toward the new node.
+            loop {
+                let near_b = tb.nearest(&new_a);
+                let step_b = steer(&tb.nodes[near_b], &new_a, cfg.steer_step);
+                let edge_b = Motion::new(tb.nodes[near_b].clone(), step_b.clone());
+                if check_motion(checker, &edge_b, cfg.cspace_step).colliding {
+                    break;
+                }
+                tb.nodes.push(step_b.clone());
+                tb.parents.push(near_b);
+                if step_b.distance(&new_a) < 1e-4 {
+                    // Trees met: assemble the path.
+                    let pa = ta.path_to_root(ta.nodes.len() - 1);
+                    let pb = tb.path_to_root(tb.nodes.len() - 1);
+                    let mut path = if a_is_start { pa.clone() } else { pb.clone() };
+                    let mut tail = if a_is_start { pb } else { pa };
+                    tail.reverse();
+                    path.extend(tail);
+                    dedup(&mut path);
+                    return RrtOutcome {
+                        path: Some(path),
+                        nodes: ta.nodes.len() + tb.nodes.len(),
+                        cd_queries: checker.stats().pose_queries - cd_before,
+                    };
+                }
+            }
+        }
+        std::mem::swap(&mut ta, &mut tb);
+        a_is_start = !a_is_start;
+    }
+    RrtOutcome {
+        path: None,
+        nodes: ta.nodes.len() + tb.nodes.len(),
+        cd_queries: checker.stats().pose_queries - cd_before,
+    }
+}
+
+fn dedup(path: &mut Vec<JointConfig>) {
+    path.dedup_by(|a, b| a.distance(b) < 1e-6);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_collision::{check_path, SoftwareChecker};
+    use mp_octree::{Octree, Scene, SceneConfig};
+    use mp_robot::RobotModel;
+
+    fn goal_for(robot: &RobotModel) -> JointConfig {
+        let mut g = robot.home();
+        g.as_mut_slice()[0] += 1.5;
+        robot.clamp_config(&g)
+    }
+
+    #[test]
+    fn rrt_solves_free_space() {
+        let robot = RobotModel::planar_2dof();
+        let mut checker = SoftwareChecker::new(robot.clone(), Octree::build(&[], 3));
+        let out = rrt(
+            &mut checker,
+            &JointConfig::zeros(2),
+            &JointConfig::new(vec![1.5, -0.5]),
+            &RrtConfig::default(),
+            1,
+        );
+        assert!(out.solved());
+        let path = out.path.unwrap();
+        assert_eq!(path.first().unwrap(), &JointConfig::zeros(2));
+        assert!(
+            path.last()
+                .unwrap()
+                .distance(&JointConfig::new(vec![1.5, -0.5]))
+                < 1e-5
+        );
+    }
+
+    #[test]
+    fn rrt_connect_solves_benchmark_scenes_with_valid_paths() {
+        let robot = RobotModel::jaco2();
+        let mut solved = 0;
+        let mut total = 0;
+        for seed in 0..4 {
+            let scene = Scene::random(SceneConfig::paper(), seed);
+            for q in crate::queries::generate_queries(&robot, &scene, 2, seed + 60) {
+                total += 1;
+                let mut checker = SoftwareChecker::new(robot.clone(), scene.octree());
+                let out = rrt_connect(
+                    &mut checker,
+                    &q.start,
+                    &q.goal,
+                    &RrtConfig::default(),
+                    seed + 5,
+                );
+                if let Some(path) = &out.path {
+                    solved += 1;
+                    let mut verifier = SoftwareChecker::new(robot.clone(), scene.octree());
+                    assert_eq!(check_path(&mut verifier, path, 0.04), None);
+                }
+            }
+        }
+        assert!(solved * 3 >= total * 2, "only {solved}/{total} solved");
+    }
+
+    #[test]
+    fn rrt_gives_up_when_goal_unreachable() {
+        let robot = RobotModel::planar_2dof();
+        // Goal pose is inside an obstacle.
+        let goal = JointConfig::new(vec![1.0, 0.0]);
+        let ee = mp_robot::fk::end_effector(&robot, &goal);
+        let tree = Octree::build(
+            &[mp_geometry::Aabb::new(ee, mp_geometry::Vec3::splat(0.05))],
+            5,
+        );
+        let mut checker = SoftwareChecker::new(robot.clone(), tree);
+        let out = rrt(
+            &mut checker,
+            &JointConfig::zeros(2),
+            &goal,
+            &RrtConfig {
+                max_nodes: 200,
+                ..RrtConfig::default()
+            },
+            3,
+        );
+        assert!(!out.solved());
+    }
+
+    #[test]
+    fn classical_planners_spend_more_cd_than_neural() {
+        use crate::mpnet::{plan, MpnetConfig};
+        use crate::sampler::OracleSampler;
+        let robot = RobotModel::jaco2();
+        let scene = Scene::random(SceneConfig::paper(), 2);
+        let goal = goal_for(&robot);
+
+        let mut c1 = SoftwareChecker::new(robot.clone(), scene.octree());
+        let mut sampler = OracleSampler::new(robot.clone(), 4);
+        let neural = plan(
+            &mut c1,
+            &mut sampler,
+            &robot.home(),
+            &goal,
+            &MpnetConfig::default(),
+        );
+
+        let mut c2 = SoftwareChecker::new(robot.clone(), scene.octree());
+        let classical = rrt(&mut c2, &robot.home(), &goal, &RrtConfig::default(), 4);
+
+        if neural.solved() && classical.solved() {
+            assert!(
+                classical.cd_queries > neural.stats.cd_queries,
+                "RRT {} vs MPNet {}",
+                classical.cd_queries,
+                neural.stats.cd_queries
+            );
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for kinematics and C-space utilities.
+
+use mp_fixed::Fx;
+use mp_robot::fk::{joint_frames, link_obbs};
+use mp_robot::trig::{approx_cos, approx_sin, fx_cos, fx_sin};
+use mp_robot::{JointConfig, Motion, RobotModel, TrigMode};
+use proptest::prelude::*;
+
+fn any_config(dof: usize) -> impl Strategy<Value = JointConfig> {
+    prop::collection::vec(-3.0f32..3.0, dof).prop_map(JointConfig::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Approximate trig always stays within its error budget and satisfies
+    /// symmetry identities.
+    #[test]
+    fn trig_error_budget(x in -core::f32::consts::PI..core::f32::consts::PI) {
+        prop_assert!((approx_sin(x) - x.sin()).abs() < 2e-4);
+        prop_assert!((approx_cos(x) - x.cos()).abs() < 2e-4);
+        prop_assert!((fx_sin(Fx::from_f32(x)).to_f32() - x.sin()).abs() < 5e-3);
+        prop_assert!((fx_cos(Fx::from_f32(x)).to_f32() - x.cos()).abs() < 5e-3);
+    }
+
+    /// FK rotations stay orthonormal for arbitrary (even out-of-limit)
+    /// joint values.
+    #[test]
+    fn fk_rotations_orthonormal(cfg in any_config(7)) {
+        let r = RobotModel::baxter();
+        for f in joint_frames(&r, &cfg, TrigMode::Exact) {
+            prop_assert!(f.rotation.orthonormality_error() < 1e-4);
+        }
+    }
+
+    /// FK is continuous: a small joint perturbation moves every OBB center
+    /// by a bounded amount (Lipschitz in the total arm length).
+    #[test]
+    fn fk_is_lipschitz(cfg in any_config(6), j in 0usize..6, d in -0.02f32..0.02) {
+        let r = RobotModel::jaco2();
+        let mut moved = cfg.clone();
+        moved.as_mut_slice()[j] += d;
+        let a = link_obbs(&r, &cfg, TrigMode::Exact);
+        let b = link_obbs(&r, &moved, TrigMode::Exact);
+        for (oa, ob) in a.iter().zip(&b) {
+            // Total normalized arm length < 1.5; Lipschitz constant ~ reach.
+            prop_assert!((oa.center - ob.center).length() <= 2.0 * d.abs() + 1e-6);
+        }
+    }
+
+    /// Motion discretization: consecutive poses never exceed the step in
+    /// any joint, and endpoints are exact.
+    #[test]
+    fn discretization_respects_step(a in any_config(7), b in any_config(7), step in 0.01f32..0.5) {
+        let m = Motion::new(a.clone(), b.clone());
+        let poses = m.discretize(step);
+        prop_assert!(poses.len() >= 2);
+        prop_assert_eq!(poses.first().unwrap(), &a);
+        prop_assert_eq!(poses.last().unwrap(), &b);
+        for w in poses.windows(2) {
+            prop_assert!(w[0].linf_distance(&w[1]) <= step + 1e-4);
+        }
+    }
+
+    /// The hardware motion descriptor reconstructs the same poses as direct
+    /// interpolation.
+    #[test]
+    fn descriptor_equals_lerp(a in any_config(6), b in any_config(6)) {
+        let m = Motion::new(a, b);
+        let d = m.descriptor(0.1);
+        for i in 0..d.count {
+            let direct = m.pose(i, d.count);
+            let via = d.pose(i);
+            for j in 0..6 {
+                prop_assert!((direct[j] - via[j]).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Hardware-trig FK deviates from exact FK by less than the collision
+    /// geometry's smallest feature, for in-limit configurations.
+    #[test]
+    fn hw_fk_deviation_bounded(seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let r = RobotModel::baxter();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = r.sample_config(&mut rng);
+        let exact = link_obbs(&r, &cfg, TrigMode::Exact);
+        let hw = link_obbs(&r, &cfg, TrigMode::Hardware);
+        for (e, h) in exact.iter().zip(&hw) {
+            prop_assert!((e.center - h.center).length() < 5e-3);
+        }
+    }
+}

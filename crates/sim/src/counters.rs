@@ -1,0 +1,110 @@
+//! Work counters — the paper's computation/energy proxies.
+
+use core::ops::{Add, AddAssign};
+
+/// Operation counters accumulated by the hardware models.
+///
+/// §4 uses multiplications as the computation estimate; §7.1 uses the
+/// number of collision-detection tests as the energy measure (energy is
+/// linear in tests because the benchmark octrees live entirely in on-chip
+/// SRAM with no coalescing).
+///
+/// # Examples
+///
+/// ```
+/// use mp_sim::OpCounter;
+///
+/// let mut a = OpCounter::default();
+/// a.mults += 81;
+/// a.sram_reads += 3;
+/// let b = a + a;
+/// assert_eq!(b.mults, 162);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct OpCounter {
+    /// Fixed-point multiplications.
+    pub mults: u64,
+    /// Fixed-point additions/subtractions.
+    pub adds: u64,
+    /// On-chip SRAM reads (octree nodes, link constants).
+    pub sram_reads: u64,
+    /// OBB–AABB primitive intersection tests started.
+    pub box_tests: u64,
+    /// Robot-pose collision-detection queries completed.
+    pub cd_queries: u64,
+}
+
+impl OpCounter {
+    /// A zeroed counter.
+    pub fn new() -> OpCounter {
+        OpCounter::default()
+    }
+
+    /// Relative energy versus a baseline, using multiplications as the
+    /// proxy (§4). Returns `None` if the baseline spent no multiplications.
+    pub fn energy_vs(&self, baseline: &OpCounter) -> Option<f64> {
+        if baseline.mults == 0 {
+            None
+        } else {
+            Some(self.mults as f64 / baseline.mults as f64)
+        }
+    }
+}
+
+impl Add for OpCounter {
+    type Output = OpCounter;
+    fn add(self, rhs: OpCounter) -> OpCounter {
+        OpCounter {
+            mults: self.mults + rhs.mults,
+            adds: self.adds + rhs.adds,
+            sram_reads: self.sram_reads + rhs.sram_reads,
+            box_tests: self.box_tests + rhs.box_tests,
+            cd_queries: self.cd_queries + rhs.cd_queries,
+        }
+    }
+}
+
+impl AddAssign for OpCounter {
+    fn add_assign(&mut self, rhs: OpCounter) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::iter::Sum for OpCounter {
+    fn sum<I: Iterator<Item = OpCounter>>(iter: I) -> OpCounter {
+        iter.fold(OpCounter::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sum() {
+        let a = OpCounter {
+            mults: 1,
+            adds: 2,
+            sram_reads: 3,
+            box_tests: 4,
+            cd_queries: 5,
+        };
+        let s: OpCounter = [a, a, a].into_iter().sum();
+        assert_eq!(s.mults, 3);
+        assert_eq!(s.cd_queries, 15);
+    }
+
+    #[test]
+    fn energy_ratio() {
+        let base = OpCounter {
+            mults: 100,
+            ..OpCounter::default()
+        };
+        let twice = OpCounter {
+            mults: 200,
+            ..OpCounter::default()
+        };
+        assert_eq!(twice.energy_vs(&base), Some(2.0));
+        assert_eq!(base.energy_vs(&OpCounter::default()), None);
+    }
+}

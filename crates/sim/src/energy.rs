@@ -1,0 +1,102 @@
+//! Physical energy model: converting operation counts into joules.
+//!
+//! The paper uses two proxies — #CD tests (§7.1) and #multiplications
+//! (§4) — because its benchmark octrees live in on-chip SRAM and energy is
+//! linear in the work counts. This module grounds those proxies in
+//! per-operation energies typical of 45 nm logic, so `OpCounter` totals can
+//! be reported in joules and cross-checked against the Table 2 power ×
+//! runtime products.
+
+use crate::counters::OpCounter;
+
+/// Energy of one 16-bit fixed-point multiplication at 45 nm, picojoules.
+///
+/// Scaled from the widely used Horowitz ISSCC'14 numbers (0.2 pJ for an
+/// 8-bit and ~3 pJ for a 32-bit multiply at 45 nm): a 16-bit multiply lands
+/// near 1 pJ.
+pub const MULT_PJ: f64 = 1.0;
+
+/// Energy of one 16-bit add at 45 nm, picojoules (Horowitz: 0.03 pJ for
+/// 8-bit, 0.1 pJ for 32-bit).
+pub const ADD_PJ: f64 = 0.05;
+
+/// Energy of one small-SRAM read (24-bit word from a ≤1 KB array), pJ
+/// (Horowitz: ~5 pJ for an 8 KB cache access, scaled down for the OOCD's
+/// 0.75 KB node store).
+pub const SRAM_READ_PJ: f64 = 2.5;
+
+/// Fixed per-test control overhead (FSM, muxes, registers), pJ.
+pub const TEST_OVERHEAD_PJ: f64 = 1.0;
+
+/// Converts an operation counter into picojoules of dynamic energy.
+///
+/// # Examples
+///
+/// ```
+/// use mp_sim::{energy, OpCounter};
+///
+/// let ops = OpCounter { mults: 81, adds: 60, sram_reads: 1, box_tests: 1, cd_queries: 0 };
+/// let pj = energy::dynamic_energy_pj(&ops);
+/// assert!(pj > 81.0); // at least the multiplier energy
+/// ```
+pub fn dynamic_energy_pj(ops: &OpCounter) -> f64 {
+    ops.mults as f64 * MULT_PJ
+        + ops.adds as f64 * ADD_PJ
+        + ops.sram_reads as f64 * SRAM_READ_PJ
+        + ops.box_tests as f64 * TEST_OVERHEAD_PJ
+}
+
+/// Converts the counter into microjoules.
+pub fn dynamic_energy_uj(ops: &OpCounter) -> f64 {
+    dynamic_energy_pj(ops) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_linear_in_work() {
+        let a = OpCounter {
+            mults: 100,
+            adds: 50,
+            sram_reads: 10,
+            box_tests: 5,
+            cd_queries: 1,
+        };
+        let double = a + a;
+        assert!((dynamic_energy_pj(&double) - 2.0 * dynamic_energy_pj(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mults_dominate_for_sat_heavy_work() {
+        // A full 15-axis SAT (81 mults) costs far more than its bookkeeping.
+        let sat = OpCounter {
+            mults: 81,
+            adds: 60,
+            sram_reads: 0,
+            box_tests: 1,
+            cd_queries: 0,
+        };
+        let e = dynamic_energy_pj(&sat);
+        assert!(e > 80.0 && e < 100.0, "{e} pJ");
+        // A sphere filter (3 mults) is ~20x cheaper — the cascade's point.
+        let sphere = OpCounter {
+            mults: 3,
+            adds: 6,
+            sram_reads: 0,
+            box_tests: 1,
+            cd_queries: 0,
+        };
+        assert!(dynamic_energy_pj(&sphere) * 15.0 < e);
+    }
+
+    #[test]
+    fn unit_conversion() {
+        let ops = OpCounter {
+            mults: 1_000_000,
+            ..OpCounter::default()
+        };
+        assert!((dynamic_energy_uj(&ops) - 1.0).abs() < 1e-9);
+    }
+}

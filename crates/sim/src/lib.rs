@@ -1,0 +1,24 @@
+//! Cycle/energy/area simulation framework for the MPAccel reproduction.
+//!
+//! The paper's evaluation is built on three kinds of cost accounting:
+//!
+//! 1. **Cycles** — the microarchitectural simulator's timing model, with
+//!    clock periods taken from the synthesized critical paths (§7.3:
+//!    1.48 ns pipelined / 2.24 ns multi-cycle OOCD). See [`time`].
+//! 2. **Work counts** — "we use the number of multiplications as an
+//!    estimate of computation" (§4) and "the number of collision detection
+//!    tests is used as a measure of energy" (§7.1). See [`counters`].
+//! 3. **Area/power** — per-block 45 nm synthesis results (Table 2),
+//!    composed structurally into unit and system totals. See [`power`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod energy;
+pub mod power;
+pub mod time;
+
+pub use counters::OpCounter;
+pub use power::{AreaPower, CecduConfig, IuKind, MpaccelConfig};
+pub use time::ClockDomain;

@@ -1,0 +1,292 @@
+//! Area and power modelling from the paper's 45 nm synthesis results.
+//!
+//! Table 2 reports per-block area/power from Synopsys DC + OpenRAM at 45 nm
+//! (FreePDK). We embed those constants and compose them structurally — the
+//! same arithmetic the paper uses for its MPAccel rows (e.g. config 1 =
+//! scheduler + 16 × CECDU = 0.110 + 16 × 0.694 = 11.21 mm², 3.51 W).
+//!
+//! The power numbers compose exactly (Table 1's four CECDU configurations
+//! are reproduced to within 0.1 mW by summing Table 2 blocks); the area
+//! numbers include a small amount of shared logic, so for the four CECDU
+//! configurations we use Table 1's synthesized values directly and fall
+//! back to structural composition elsewhere.
+
+use core::ops::{Add, Mul};
+
+use crate::time::ClockDomain;
+
+/// An (area, power) pair.
+///
+/// # Examples
+///
+/// ```
+/// use mp_sim::AreaPower;
+///
+/// let total = AreaPower::new(0.110, 0.0607) + AreaPower::new(0.694, 0.2157) * 16.0;
+/// assert!((total.area_mm2 - 11.21).abs() < 0.01);
+/// assert!((total.power_w - 3.51).abs() < 0.01);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AreaPower {
+    /// Silicon area in mm² (45 nm).
+    pub area_mm2: f64,
+    /// Power in watts.
+    pub power_w: f64,
+}
+
+impl AreaPower {
+    /// Creates an (area, power) pair. Power in **watts**.
+    pub fn new(area_mm2: f64, power_w: f64) -> AreaPower {
+        AreaPower { area_mm2, power_w }
+    }
+}
+
+impl Add for AreaPower {
+    type Output = AreaPower;
+    fn add(self, rhs: AreaPower) -> AreaPower {
+        AreaPower::new(self.area_mm2 + rhs.area_mm2, self.power_w + rhs.power_w)
+    }
+}
+
+impl Mul<f64> for AreaPower {
+    type Output = AreaPower;
+    fn mul(self, n: f64) -> AreaPower {
+        AreaPower::new(self.area_mm2 * n, self.power_w * n)
+    }
+}
+
+/// Table 2 constants (area mm², power W).
+pub mod blocks {
+    use super::AreaPower;
+
+    /// SAS scheduler.
+    pub const SCHEDULER: AreaPower = AreaPower {
+        area_mm2: 0.110,
+        power_w: 0.0607,
+    };
+    /// OBB Transformation (Generation) Unit.
+    pub const OBB_UNIT: AreaPower = AreaPower {
+        area_mm2: 0.054,
+        power_w: 0.0516,
+    };
+    /// Octree Traversal Unit (the OOCD FSM + queues, excluding the IU).
+    pub const TRAVERSAL_UNIT: AreaPower = AreaPower {
+        area_mm2: 0.029,
+        power_w: 0.0167,
+    };
+    /// Multi-cycle Intersection Unit.
+    pub const IU_MULTI_CYCLE: AreaPower = AreaPower {
+        area_mm2: 0.143,
+        power_w: 0.02434,
+    };
+    /// Pipelined Intersection Unit.
+    pub const IU_PIPELINED: AreaPower = AreaPower {
+        area_mm2: 0.251,
+        power_w: 0.03257,
+    };
+}
+
+/// Intersection Unit microarchitecture (§5.2 explores both).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum IuKind {
+    /// One cascade stage per cycle; the unit is busy until the test exits.
+    #[default]
+    MultiCycle,
+    /// 5-stage pipeline; a new test can start every cycle.
+    Pipelined,
+}
+
+impl IuKind {
+    /// Area/power of one Intersection Unit of this kind (Table 2).
+    pub fn area_power(self) -> AreaPower {
+        match self {
+            IuKind::MultiCycle => blocks::IU_MULTI_CYCLE,
+            IuKind::Pipelined => blocks::IU_PIPELINED,
+        }
+    }
+
+    /// The clock domain this design closes timing at (§7.3).
+    pub fn clock(self) -> ClockDomain {
+        match self {
+            IuKind::MultiCycle => ClockDomain::multi_cycle(),
+            IuKind::Pipelined => ClockDomain::pipelined(),
+        }
+    }
+}
+
+impl core::fmt::Display for IuKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IuKind::MultiCycle => write!(f, "mc"),
+            IuKind::Pipelined => write!(f, "p"),
+        }
+    }
+}
+
+/// A CECDU configuration: how many OOCDs it instantiates and which
+/// Intersection Unit design they use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CecduConfig {
+    /// Number of OOCD units (the paper evaluates 1 and 4).
+    pub oocds: usize,
+    /// Intersection Unit kind.
+    pub iu: IuKind,
+}
+
+impl CecduConfig {
+    /// Creates a CECDU configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oocds` is 0.
+    pub fn new(oocds: usize, iu: IuKind) -> CecduConfig {
+        assert!(oocds >= 1, "a CECDU needs at least one OOCD");
+        CecduConfig { oocds, iu }
+    }
+
+    /// Area/power of this CECDU. The four configurations of Table 1 use the
+    /// synthesized values verbatim; other sizes compose structurally.
+    pub fn area_power(&self) -> AreaPower {
+        match (self.oocds, self.iu) {
+            // Table 1 rows.
+            (1, IuKind::MultiCycle) => AreaPower::new(0.21, 0.0926),
+            (1, IuKind::Pipelined) => AreaPower::new(0.32, 0.1008),
+            (4, IuKind::MultiCycle) => AreaPower::new(0.694, 0.2157),
+            (4, IuKind::Pipelined) => AreaPower::new(1.126, 0.2487),
+            // Structural estimate.
+            (n, iu) => blocks::OBB_UNIT + (blocks::TRAVERSAL_UNIT + iu.area_power()) * n as f64,
+        }
+    }
+}
+
+impl Default for CecduConfig {
+    /// The paper's headline configuration: 4 multi-cycle OOCDs.
+    fn default() -> CecduConfig {
+        CecduConfig::new(4, IuKind::MultiCycle)
+    }
+}
+
+/// A full MPAccel configuration (scheduler + CECDU array), named
+/// `X_Y_mc/p` in Fig 20 for `X` CECDUs of `Y` OOCDs each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MpaccelConfig {
+    /// Number of CECDUs.
+    pub cecdus: usize,
+    /// Per-CECDU configuration.
+    pub cecdu: CecduConfig,
+}
+
+impl MpaccelConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cecdus` is 0.
+    pub fn new(cecdus: usize, cecdu: CecduConfig) -> MpaccelConfig {
+        assert!(cecdus >= 1, "MPAccel needs at least one CECDU");
+        MpaccelConfig { cecdus, cecdu }
+    }
+
+    /// Table 2's "Config 1": scheduler + 16 CECDUs of 4 multi-cycle OOCDs.
+    pub fn config1() -> MpaccelConfig {
+        MpaccelConfig::new(16, CecduConfig::new(4, IuKind::MultiCycle))
+    }
+
+    /// Table 2's "Config 2": scheduler + 16 CECDUs of 4 pipelined OOCDs.
+    pub fn config2() -> MpaccelConfig {
+        MpaccelConfig::new(16, CecduConfig::new(4, IuKind::Pipelined))
+    }
+
+    /// Total area/power (scheduler + CECDU array).
+    pub fn area_power(&self) -> AreaPower {
+        blocks::SCHEDULER + self.cecdu.area_power() * self.cecdus as f64
+    }
+
+    /// The Fig 20 configuration label, e.g. `16_4_mc`.
+    pub fn label(&self) -> String {
+        format!("{}_{}_{}", self.cecdus, self.cecdu.oocds, self.cecdu.iu)
+    }
+
+    /// The performance metric of Fig 20: motion-planning queries per
+    /// (second × watt × mm²).
+    pub fn perf_metric(&self, queries: u64, seconds: f64) -> f64 {
+        let ap = self.area_power();
+        queries as f64 / (seconds * ap.power_w * ap.area_mm2)
+    }
+}
+
+impl Default for MpaccelConfig {
+    fn default() -> MpaccelConfig {
+        MpaccelConfig::config1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_config1_totals() {
+        let ap = MpaccelConfig::config1().area_power();
+        assert!((ap.area_mm2 - 11.21).abs() < 0.02, "area {}", ap.area_mm2);
+        assert!((ap.power_w - 3.51).abs() < 0.01, "power {}", ap.power_w);
+    }
+
+    #[test]
+    fn table2_config2_totals() {
+        let ap = MpaccelConfig::config2().area_power();
+        assert!((ap.area_mm2 - 18.12).abs() < 0.1, "area {}", ap.area_mm2);
+        assert!((ap.power_w - 4.03).abs() < 0.02, "power {}", ap.power_w);
+    }
+
+    #[test]
+    fn table1_power_composes_from_table2_blocks() {
+        // Structural power (OBB unit + n × (traversal + IU)) must land
+        // within a milliwatt of the synthesized Table 1 values.
+        let structural =
+            |n: f64, iu: AreaPower| (blocks::OBB_UNIT + (blocks::TRAVERSAL_UNIT + iu) * n).power_w;
+        assert!((structural(1.0, blocks::IU_MULTI_CYCLE) - 0.0926).abs() < 1e-3);
+        assert!((structural(1.0, blocks::IU_PIPELINED) - 0.1008).abs() < 1e-3);
+        assert!((structural(4.0, blocks::IU_MULTI_CYCLE) - 0.2157).abs() < 1e-3);
+        assert!((structural(4.0, blocks::IU_PIPELINED) - 0.2487).abs() < 1e-3);
+    }
+
+    #[test]
+    fn labels_match_fig20_naming() {
+        assert_eq!(MpaccelConfig::config1().label(), "16_4_mc");
+        assert_eq!(
+            MpaccelConfig::new(8, CecduConfig::new(1, IuKind::Pipelined)).label(),
+            "8_1_p"
+        );
+    }
+
+    #[test]
+    fn perf_metric_dimensional_sanity() {
+        let cfg = MpaccelConfig::config1();
+        let p1 = cfg.perf_metric(1000, 1.0);
+        let p2 = cfg.perf_metric(2000, 1.0);
+        assert!((p2 / p1 - 2.0).abs() < 1e-9);
+        // Bigger hardware lowers the metric for the same throughput.
+        let big = MpaccelConfig::config2().perf_metric(1000, 1.0);
+        assert!(big < p1);
+    }
+
+    #[test]
+    fn structural_estimate_used_for_unlisted_sizes() {
+        let two = CecduConfig::new(2, IuKind::MultiCycle).area_power();
+        let expect = blocks::OBB_UNIT + (blocks::TRAVERSAL_UNIT + blocks::IU_MULTI_CYCLE) * 2.0;
+        assert_eq!(two, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one OOCD")]
+    fn zero_oocds_rejected() {
+        let _ = CecduConfig::new(0, IuKind::MultiCycle);
+    }
+
+    #[test]
+    fn iu_clocks_match_critical_paths() {
+        assert_eq!(IuKind::MultiCycle.clock().period_ns(), 2.24);
+        assert_eq!(IuKind::Pipelined.clock().period_ns(), 1.48);
+    }
+}

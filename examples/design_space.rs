@@ -1,0 +1,89 @@
+//! Design-space exploration: sweep MPAccel configurations (CECDU count,
+//! OOCDs per CECDU, intersection-unit style, scheduler policy) on one
+//! workload and print latency, area, power and the Fig 20 efficiency
+//! metric — the study a deployment team would run to size the accelerator
+//! for their robot.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use mpaccel::accel::mpaccel::{MpAccelSystem, SystemConfig};
+use mpaccel::accel::sas::SasConfig;
+use mpaccel::collision::SoftwareChecker;
+use mpaccel::octree::{Scene, SceneConfig};
+use mpaccel::planner::mpnet::{plan, MpnetConfig};
+use mpaccel::planner::queries::generate_queries;
+use mpaccel::planner::sampler::OracleSampler;
+use mpaccel::robot::RobotModel;
+use mpaccel::sim::{CecduConfig, IuKind, MpaccelConfig};
+
+fn main() {
+    let robot = RobotModel::baxter();
+    let scene = Scene::random(SceneConfig::paper(), 5);
+    let octree = scene.octree();
+
+    // One representative planning trace to replay on every configuration.
+    let query = generate_queries(&robot, &scene, 1, 3).remove(0);
+    let mut checker = SoftwareChecker::new(robot.clone(), octree.clone());
+    let mut sampler = OracleSampler::new(robot.clone(), 9);
+    let out = plan(
+        &mut checker,
+        &mut sampler,
+        &query.start,
+        &query.goal,
+        &MpnetConfig::default(),
+    );
+    let Some(_) = &out.path else {
+        println!("workload query unsolved; rerun with another seed");
+        return;
+    };
+    println!(
+        "workload: one Baxter query, {} CD batches, <= {} poses\n",
+        out.trace.cd_batches(),
+        out.trace.max_cd_poses()
+    );
+
+    println!("config     scheduler  latency(ms)  area(mm2)  power(W)  q/(s*W*mm2)");
+    for cecdus in [4usize, 8, 16, 32] {
+        for oocds in [1usize, 4] {
+            for iu in [IuKind::MultiCycle, IuKind::Pipelined] {
+                let accel = MpaccelConfig::new(cecdus, CecduConfig::new(oocds, iu));
+                let sys = MpAccelSystem::new(
+                    robot.clone(),
+                    octree.clone(),
+                    SystemConfig::with_accel(accel),
+                );
+                let report = sys.run_trace(&out.trace);
+                let ap = accel.area_power();
+                let perf = accel.perf_metric(1, report.total_ms / 1e3);
+                println!(
+                    "{:<9}  MCSP       {:>11.3}  {:>9.2}  {:>8.2}  {:>11.1}",
+                    accel.label(),
+                    report.total_ms,
+                    ap.area_mm2,
+                    ap.power_w,
+                    perf
+                );
+            }
+        }
+    }
+
+    // Scheduler ablation on the headline hardware.
+    println!("\nscheduler ablation on 16_4_mc:");
+    for (name, sas) in [
+        ("sequential", SasConfig::sequential()),
+        ("naive (NP)", SasConfig::naive_parallel(16)),
+        ("CSP", SasConfig::csp(16)),
+        ("MP", SasConfig::inter_only(16)),
+        ("MCSP", SasConfig::mcsp(16)),
+    ] {
+        let sys = MpAccelSystem::new(robot.clone(), octree.clone(), SystemConfig::paper_default())
+            .with_scheduler(sas);
+        let report = sys.run_trace(&out.trace);
+        println!(
+            "  {:<11} {:>8.3} ms   {:>7} CD queries",
+            name, report.total_ms, report.cd_queries
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: plan a motion for a 7-DOF Baxter arm and replay it on the
+//! MPAccel accelerator model.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mpaccel::accel::mpaccel::{MpAccelSystem, SystemConfig};
+use mpaccel::collision::{CollisionChecker, SoftwareChecker};
+use mpaccel::octree::{Scene, SceneConfig};
+use mpaccel::planner::mpnet::{plan, MpnetConfig};
+use mpaccel::planner::queries::generate_queries;
+use mpaccel::planner::sampler::OracleSampler;
+use mpaccel::robot::RobotModel;
+
+fn main() {
+    // 1. A randomized benchmark environment (5-9 cuboid obstacles, §6).
+    let scene = Scene::random(SceneConfig::paper(), 42);
+    let octree = scene.octree();
+    println!(
+        "environment: {} obstacles, octree {} nodes ({} bytes on-chip)",
+        scene.obstacles().len(),
+        octree.node_count(),
+        octree.storage_bytes()
+    );
+
+    // 2. The robot and a planning query.
+    let robot = RobotModel::baxter();
+    let query = generate_queries(&robot, &scene, 1, 7).remove(0);
+    println!(
+        "robot: {} ({} DOF, {} links); query distance {:.2} rad",
+        robot.name(),
+        robot.dof(),
+        robot.link_count(),
+        query.start.distance(&query.goal)
+    );
+
+    // 3. Plan with the MPNet-style neural planner (software oracle CD).
+    // The planner is stochastic; retry a few seeds like a deployment would.
+    let mut checker = SoftwareChecker::new(robot.clone(), octree.clone());
+    let out = (0..10)
+        .map(|seed| {
+            let mut sampler = OracleSampler::new(robot.clone(), seed);
+            let cfg = MpnetConfig {
+                seed,
+                ..MpnetConfig::default()
+            };
+            plan(&mut checker, &mut sampler, &query.start, &query.goal, &cfg)
+        })
+        .find(|out| out.solved());
+    let Some(out) = out else {
+        println!("planner failed on every seed — the query may be infeasible");
+        return;
+    };
+    let path = out.path.as_ref().expect("solved");
+    println!(
+        "plan: {} waypoints, C-space length {:.2} rad, {} CD pose queries, {} NN inferences",
+        path.len(),
+        out.path_length().unwrap(),
+        out.stats.cd_queries,
+        out.stats.nn_calls
+    );
+
+    // 4. Replay the recorded trace on the MPAccel hardware model.
+    let sys = MpAccelSystem::new(robot, octree, SystemConfig::paper_default());
+    let report = sys.run_trace(&out.trace);
+    println!(
+        "MPAccel (16 CECDUs x 4 multi-cycle OOCDs @ {:.0} MHz):",
+        1e3 * mpaccel::sim::ClockDomain::multi_cycle().frequency_ghz()
+    );
+    println!(
+        "  total {:.3} ms  (CD {:.3} ms, NN {:.3} ms, controller {:.3} ms, bus {:.3} ms)",
+        report.total_ms, report.cd_ms, report.nn_ms, report.controller_ms, report.bus_ms
+    );
+    println!(
+        "  {} CD queries in {} cycles; accelerator energy {:.3} mJ",
+        report.cd_queries, report.cd_cycles, report.accel_energy_mj
+    );
+    println!(
+        "  real-time budget (1 ms): {}",
+        if report.total_ms < 1.0 {
+            "MET"
+        } else {
+            "MISSED"
+        }
+    );
+    let _ = checker.stats();
+}

@@ -1,0 +1,27 @@
+//! MPAccel reproduction facade crate.
+//!
+//! Re-exports the full stack of the reproduction of *Energy-Efficient
+//! Realtime Motion Planning* (ISCA '23) so downstream users (and the
+//! examples in `examples/`) can depend on a single crate:
+//!
+//! * [`fixed`] — 16-bit fixed-point arithmetic,
+//! * [`geometry`] — OBB/AABB/sphere primitives and intersection kernels,
+//! * [`octree`] — environment octrees and scene generation,
+//! * [`robot`] — kinematics and robot models (Jaco2, Baxter),
+//! * [`collision`] — software reference collision detection,
+//! * [`sim`] — cycle/energy/area modelling,
+//! * [`accel`] — the MPAccel accelerator (SAS + CECDUs),
+//! * [`planner`] — MPNet-style neural planner and RRT baselines,
+//! * [`baselines`] — CPU/GPU comparison models.
+
+#![forbid(unsafe_code)]
+
+pub use mp_baselines as baselines;
+pub use mp_collision as collision;
+pub use mp_fixed as fixed;
+pub use mp_geometry as geometry;
+pub use mp_octree as octree;
+pub use mp_planner as planner;
+pub use mp_robot as robot;
+pub use mp_sim as sim;
+pub use mpaccel_core as accel;
