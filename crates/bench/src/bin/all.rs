@@ -10,7 +10,9 @@ fn emit(name: &str, report: Report) {
     println!("{report}");
     if let Ok(dir) = std::env::var("MPACCEL_CSV_DIR") {
         let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
-        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, report.to_csv())) {
+        if let Err(e) =
+            std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, report.to_csv()))
+        {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
@@ -35,4 +37,5 @@ fn main() {
     emit("codacc", e::codacc::run(scale));
     emit("ablation", e::ablation::run(scale));
     emit("planners", e::planners::run(scale));
+    emit("faults", e::faults::run(scale));
 }

@@ -1,0 +1,8 @@
+//! Runs the fault-injection resilience campaign (robustness study).
+//! Usage: `cargo run -p mp-bench --release --bin faults`
+//! (set `MPACCEL_BENCH_SCALE=full` for paper-scale workloads).
+
+fn main() {
+    let scale = mp_bench::Scale::from_env();
+    println!("{}", mp_bench::experiments::faults::run(scale));
+}

@@ -7,6 +7,7 @@
 pub mod ablation;
 pub mod codacc;
 pub mod common;
+pub mod faults;
 pub mod fig01b;
 pub mod fig07;
 pub mod fig08;

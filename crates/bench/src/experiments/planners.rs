@@ -57,6 +57,7 @@ pub fn data(scale: Scale) -> Vec<(&'static str, PlannerStats)> {
     for (si, scene) in scenes.iter().enumerate() {
         let tree = scene.octree();
         for (qi, q) in generate_queries(&robot, scene, queries_per_scene, 300 + si as u64)
+            .expect("benchmark scenes yield valid queries")
             .iter()
             .enumerate()
         {

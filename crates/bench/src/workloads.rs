@@ -121,7 +121,8 @@ impl BenchWorkload {
                             scene,
                             scale.queries_per_scene(),
                             90 + si as u64,
-                        );
+                        )
+                        .expect("benchmark scenes yield valid queries");
                         queries
                             .iter()
                             .enumerate()

@@ -16,9 +16,10 @@ use mp_octree::Octree;
 use mp_robot::fk::link_obbs;
 use mp_robot::trig::TRIG_LATENCY_CYCLES;
 use mp_robot::{JointConfig, RobotModel, TrigMode};
-use mp_sim::{CecduConfig, OpCounter};
+use mp_sim::fault::FaultKind;
+use mp_sim::{CecduConfig, FaultInjector, OpCounter};
 
-use crate::oocd::{run_oocd, OocdConfig};
+use crate::oocd::{run_oocd, run_oocd_with_faults, OocdConfig};
 
 /// Cycles from pose arrival until the first link OBB is ready: the trig
 /// pipeline depth plus the matrix-multiply/add stage.
@@ -176,6 +177,106 @@ impl CecduSim {
             ops,
         }
     }
+
+    /// [`CecduSim::check_pose`] with fault injection.
+    ///
+    /// Each link OBB traversal runs through
+    /// [`run_oocd_with_faults`](crate::oocd::run_oocd_with_faults) (SRAM
+    /// upsets), and each link is additionally an opportunity for a
+    /// [`FaultKind::Saturation`] event in the fixed-point intersection
+    /// datapath, which inverts that link's verdict. With `detection`
+    /// enabled, SRAM parity checks run and saturation raises the sticky
+    /// overflow flag the Result Collector reads out; structural checks in
+    /// the OOCD are always active. Early exit on a colliding link is
+    /// preserved, so faults on later links may go unobserved — exactly as
+    /// in hardware.
+    pub fn check_pose_with_faults(
+        &self,
+        pose: &JointConfig,
+        inj: &mut FaultInjector,
+        detection: bool,
+    ) -> FaultyCecduOutcome {
+        assert_eq!(pose.dof(), self.robot.dof(), "configuration DOF mismatch");
+        let obbs = link_obbs(&self.robot, pose, self.trig);
+        let oocd_cfg = OocdConfig {
+            iu: self.config.iu,
+            cascade: self.cascade,
+        };
+
+        let mut ops = OpCounter::default();
+        let mut links_checked = 0usize;
+        let mut colliding = false;
+        let mut detected = false;
+        let mut faults_injected = 0u32;
+        let n = self.config.oocds.max(1);
+
+        // Waves are evaluated lazily so faults are only injected on links
+        // the hardware actually dispatches (early exit cancels the rest).
+        let ready = |i: usize| OBB_GEN_FIRST_READY + OBB_GEN_INTERVAL * i as u64;
+        let mut t: u64 = 0;
+        let mut i = 0usize;
+        while i < obbs.len() {
+            let wave_end_idx = (i + n).min(obbs.len());
+            let start = t.max(ready(wave_end_idx - 1));
+            let mut dur = 0u64;
+            for obb in &obbs[i..wave_end_idx] {
+                let f =
+                    run_oocd_with_faults(&self.octree, &obb.quantize(), &oocd_cfg, inj, detection);
+                let mut link_colliding = f.result.colliding;
+                if f.detected() {
+                    detected = true;
+                }
+                faults_injected += f.sram_upsets;
+                if inj.fires(FaultKind::Saturation) {
+                    faults_injected += 1;
+                    link_colliding = !link_colliding;
+                    if detection {
+                        // The saturating adder sets a sticky overflow flag
+                        // the Result Collector reads with the verdict.
+                        detected = true;
+                    }
+                }
+                dur = dur.max(f.result.cycles);
+                ops += f.result.ops;
+                ops.mults += OBB_GEN_MULTS;
+                links_checked += 1;
+                if link_colliding {
+                    colliding = true;
+                }
+            }
+            t = start + dur;
+            if colliding {
+                break; // Result Collector stops subsequent waves.
+            }
+            i = wave_end_idx;
+        }
+        ops.cd_queries += 1;
+        FaultyCecduOutcome {
+            result: CecduResult {
+                colliding,
+                cycles: t + 1,
+                links_checked,
+                ops,
+            },
+            detected,
+            faults_injected,
+        }
+    }
+}
+
+/// Outcome of one fault-injected CECDU pose query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultyCecduOutcome {
+    /// The (possibly corrupted) query result. On detection the colliding
+    /// verdict is the unit's conservative fallback; callers with a retry
+    /// budget should re-dispatch instead.
+    pub result: CecduResult,
+    /// Whether any detection mechanism fired (SRAM parity, structural
+    /// traversal checks, or the sticky saturation flag).
+    pub detected: bool,
+    /// Faults injected while evaluating this query (SRAM upsets observed
+    /// by the traversals plus saturation events on checked links).
+    pub faults_injected: u32,
 }
 
 /// A [`CollisionChecker`] adapter over a CECDU, so planners and the

@@ -15,7 +15,10 @@
 //! * [`intersection_unit`] — the staged separating-axis datapath (Fig 10),
 //!   in multi-cycle and pipelined variants;
 //! * [`mpaccel`] — the full system of Fig 11 (controller, DNN accelerator,
-//!   bus, SAS, CECDU array) replaying planner [`trace`]s.
+//!   bus, SAS, CECDU array) replaying planner [`trace`]s;
+//! * [`fault`] — fault injection across the stack (SRAM upsets, stuck/slow
+//!   units, dropped/corrupted results, saturation) with detection,
+//!   bounded re-dispatch, quarantine, and a conservative oracle voter.
 //!
 //! All models are validated against the software oracle in `mp-collision`.
 
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod cecdu;
+pub mod fault;
 pub mod intersection_unit;
 pub mod mpaccel;
 pub mod oocd;
@@ -31,6 +35,7 @@ pub mod sram;
 pub mod trace;
 
 pub use cecdu::{CecduChecker, CecduResult, CecduSim};
+pub use fault::{run_sas_with_faults, FaultTolerantCduArray, RecoveryMode, RecoveryPolicy};
 pub use mpaccel::{MpAccelSystem, RunReport, SystemConfig};
 pub use oocd::{run_oocd, OocdConfig, OocdResult};
 pub use sas::{run_sas, FunctionMode, IntraPolicy, SasConfig, SasRunResult};

@@ -14,8 +14,9 @@
 
 use mp_geometry::cascade::CascadeConfig;
 use mp_geometry::{FxObb, Obb};
-use mp_octree::{Occupancy, Octree};
-use mp_sim::{IuKind, OpCounter};
+use mp_octree::{Node, Occupancy, Octree};
+use mp_sim::fault::{parity24, FaultKind, SRAM_WORD_BITS};
+use mp_sim::{FaultInjector, IuKind, OpCounter};
 
 use crate::intersection_unit::{self, IU_PIPELINE_DEPTH};
 
@@ -114,6 +115,9 @@ pub fn run_oocd(octree: &Octree, obb: &FxObb, cfg: &OocdConfig) -> OocdResult {
                         };
                     }
                     Occupancy::Partial => {
+                        // Builder invariant (trusted SRAM): see
+                        // `run_oocd_with_faults` for the defensive decode
+                        // path used when words may be corrupted.
                         let child = node
                             .child_address(octant)
                             .expect("partial octant must have a child");
@@ -155,6 +159,174 @@ pub fn reference_outcome(octree: &Octree, obb: &FxObb, cascade: &CascadeConfig) 
 /// Convenience: quantizes an `f32` OBB and runs the query.
 pub fn run_oocd_f32(octree: &Octree, obb: &Obb<f32>, cfg: &OocdConfig) -> OocdResult {
     run_oocd(octree, &obb.quantize(), cfg)
+}
+
+/// Outcome of one fault-injected OBB–octree query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultyOocdOutcome {
+    /// The (possibly corrupted) query result. When a fault was detected,
+    /// `result.colliding` holds the unit's conservative in-place fallback
+    /// ("collision wins"); callers with a retry budget should re-dispatch
+    /// instead of trusting it.
+    pub result: OocdResult,
+    /// SRAM words corrupted during this traversal.
+    pub sram_upsets: u32,
+    /// An SRAM parity check caught an upset (only when parity checking
+    /// was enabled).
+    pub parity_detected: bool,
+    /// A structural check fired: undecodable node word, out-of-range node
+    /// or child address, or the traversal read cap. These checks are part
+    /// of the decoder/traverser and stay active even with detection off.
+    pub structural_detected: bool,
+}
+
+impl FaultyOocdOutcome {
+    /// Whether any detection mechanism fired.
+    pub fn detected(&self) -> bool {
+        self.parity_detected || self.structural_detected
+    }
+}
+
+/// [`run_oocd`] with SRAM fault injection (Fig 14b datapath under upset).
+///
+/// Each node word read from SRAM is an injection opportunity for
+/// [`FaultKind::SramBitFlip`]: the packed 24-bit word (plus its parity
+/// bit) suffers a single-bit upset *before* `Node::unpack`. With
+/// `parity_checking` the stored even parity catches every single-bit
+/// upset and the unit aborts (detected). Without it, the corrupted word
+/// is decoded: reserved occupancy patterns surface as decode errors,
+/// corrupted child pointers as out-of-range addresses or traversal loops
+/// (bounded by a read cap of `2 * node_count + 8`) — all structural
+/// detections resolved conservatively as collisions. Upsets that survive
+/// decoding silently alter the verdict; the recovery layer classifies
+/// those as masked or escaped against a clean reference run.
+///
+/// Nodes whose word cannot be packed (octree beyond the 256-node hardware
+/// budget) are read fault-free: there is no hardware word to corrupt.
+pub fn run_oocd_with_faults(
+    octree: &Octree,
+    obb: &FxObb,
+    cfg: &OocdConfig,
+    inj: &mut FaultInjector,
+    parity_checking: bool,
+) -> FaultyOocdOutcome {
+    let mut cycles: u64 = 1; // root address into the Address Register
+    let mut ops = OpCounter::default();
+    let mut out = FaultyOocdOutcome::default();
+    let node_count = octree.node_count() as u32;
+    let read_cap = 2 * node_count as u64 + 8;
+
+    let mut stack: Vec<(u32, mp_geometry::AabbF)> = vec![(0, octree.root_aabb())];
+
+    let detect = |mut o: FaultyOocdOutcome, cycles: u64, ops: OpCounter| {
+        // Conservative in-unit fallback: report the octant occupied.
+        o.result = OocdResult {
+            colliding: true,
+            cycles,
+            ops,
+        };
+        o
+    };
+
+    while let Some((addr, node_aabb)) = stack.pop() {
+        cycles += 1;
+        ops.sram_reads += 1;
+
+        // Structural check: the Memory Request Generator rejects
+        // addresses beyond the octree's SRAM extent (corrupted pointer).
+        if addr >= node_count {
+            out.structural_detected = true;
+            return detect(out, cycles, ops);
+        }
+        // Structural check: a traversal visiting far more words than the
+        // SRAM holds is cycling through corrupted pointers.
+        if ops.sram_reads > read_cap {
+            out.structural_detected = true;
+            return detect(out, cycles, ops);
+        }
+
+        let stored = octree.node(addr);
+        let node = match stored.pack() {
+            Err(_) => *stored, // no 24-bit word to corrupt
+            Ok(word) => {
+                let (word, stored_parity) = if inj.fires(FaultKind::SramBitFlip) {
+                    out.sram_upsets += 1;
+                    // The stored parity bit covered the original word; the
+                    // upset flipped either a data bit or the parity bit.
+                    let upset = inj.corrupt_sram_word(word);
+                    let parity = parity24(word) ^ u32::from(upset.flipped_bit == SRAM_WORD_BITS);
+                    (upset.word, parity)
+                } else {
+                    (word, parity24(word))
+                };
+                if parity_checking && parity24(word) != stored_parity {
+                    out.parity_detected = true;
+                    return detect(out, cycles, ops);
+                }
+                match Node::unpack(word) {
+                    Ok(n) => n,
+                    Err(_) => {
+                        // Reserved occupancy pattern: the decoder cannot
+                        // proceed (structural detection, even without
+                        // parity checking).
+                        out.structural_detected = true;
+                        return detect(out, cycles, ops);
+                    }
+                }
+            }
+        };
+
+        for octant in 0..8 {
+            let occ = node.occupancy(octant);
+            if !occ.is_occupied() {
+                continue;
+            }
+            let oct_aabb = Octree::octant_aabb(&node_aabb, octant).quantize();
+            let iu_out = intersection_unit::execute(obb, &oct_aabb, &cfg.cascade, cfg.iu);
+            ops += iu_out.ops;
+            match cfg.iu {
+                IuKind::MultiCycle => cycles += iu_out.initiation_interval as u64,
+                IuKind::Pipelined => cycles += 1,
+            }
+            if iu_out.colliding {
+                match occ {
+                    Occupancy::Full => {
+                        if cfg.iu == IuKind::Pipelined {
+                            cycles += (IU_PIPELINE_DEPTH - 1) as u64;
+                        }
+                        out.result = OocdResult {
+                            colliding: true,
+                            cycles,
+                            ops,
+                        };
+                        return out;
+                    }
+                    Occupancy::Partial => {
+                        // A corrupted word can report Partial where the
+                        // real node had no child; the decoded child
+                        // address is pushed regardless (hardware follows
+                        // the bits) and the address checks above catch
+                        // out-of-range pointers.
+                        if let Some(child) = node.child_address(octant) {
+                            stack.push((child, oct_aabb.to_f32()));
+                        }
+                    }
+                    Occupancy::Empty => unreachable!(),
+                }
+            }
+        }
+    }
+
+    if cfg.iu == IuKind::Pipelined {
+        cycles += (IU_PIPELINE_DEPTH - 1) as u64;
+    }
+
+    out.result = OocdResult {
+        colliding: false,
+        cycles,
+        ops,
+    };
+    out
 }
 
 #[cfg(test)]
@@ -255,6 +427,94 @@ mod tests {
         let out = run_oocd(&tree, &obb, &OocdConfig::new(IuKind::MultiCycle));
         assert!(out.colliding);
         assert!(out.cycles < 30, "early exit took {} cycles", out.cycles);
+    }
+
+    #[test]
+    fn fault_free_injector_matches_plain_run() {
+        use mp_sim::{FaultInjector, FaultPlan};
+        let mut rng = StdRng::seed_from_u64(11);
+        let tree = Scene::random(SceneConfig::paper(), 1).octree();
+        let mut inj = FaultInjector::new(FaultPlan::none(0));
+        for _ in 0..50 {
+            let obb = random_obb(&mut rng).quantize();
+            let cfg = OocdConfig::new(IuKind::MultiCycle);
+            let plain = run_oocd(&tree, &obb, &cfg);
+            let faulty = run_oocd_with_faults(&tree, &obb, &cfg, &mut inj, true);
+            assert_eq!(faulty.result, plain);
+            assert!(!faulty.detected());
+            assert_eq!(faulty.sram_upsets, 0);
+        }
+        assert_eq!(inj.counters().injected_total(), 0);
+    }
+
+    #[test]
+    fn parity_checking_detects_every_upset() {
+        use mp_sim::fault::FaultKind;
+        use mp_sim::{FaultInjector, FaultPlan};
+        let mut rng = StdRng::seed_from_u64(12);
+        let tree = Scene::random(SceneConfig::paper(), 2).octree();
+        let plan = FaultPlan::none(4).with_rate(FaultKind::SramBitFlip, 1.0);
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..50 {
+            let obb = random_obb(&mut rng).quantize();
+            let cfg = OocdConfig::new(IuKind::MultiCycle);
+            let f = run_oocd_with_faults(&tree, &obb, &cfg, &mut inj, true);
+            // Every word read is upset, so the very first read trips
+            // parity and the unit answers conservatively.
+            assert!(f.parity_detected);
+            assert!(f.result.colliding);
+            assert_eq!(f.sram_upsets, 1);
+        }
+        assert_eq!(inj.counters().injected(FaultKind::SramBitFlip), 50);
+    }
+
+    #[test]
+    fn unchecked_upsets_never_hang_or_panic() {
+        use mp_sim::fault::FaultKind;
+        use mp_sim::{FaultInjector, FaultPlan};
+        let mut rng = StdRng::seed_from_u64(13);
+        let tree = Scene::random(SceneConfig::paper(), 3).octree();
+        let cap = 2 * tree.node_count() as u64 + 8;
+        let plan = FaultPlan::none(6).with_rate(FaultKind::SramBitFlip, 0.5);
+        let mut inj = FaultInjector::new(plan);
+        let mut structural = 0;
+        for _ in 0..300 {
+            let obb = random_obb(&mut rng).quantize();
+            let cfg = OocdConfig::new(IuKind::MultiCycle);
+            // Detection off: corrupted words are decoded and followed.
+            let f = run_oocd_with_faults(&tree, &obb, &cfg, &mut inj, false);
+            assert!(!f.parity_detected);
+            assert!(f.result.ops.sram_reads <= cap + 1, "read cap breached");
+            if f.structural_detected {
+                structural += 1;
+                assert!(f.result.colliding, "structural detection is conservative");
+            }
+        }
+        assert!(
+            structural > 0,
+            "50% upset rate never tripped a structural check"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        use mp_sim::{FaultInjector, FaultPlan};
+        let tree = Scene::random(SceneConfig::paper(), 4).octree();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(14);
+            let mut inj = FaultInjector::new(FaultPlan::uniform(0.3, 8));
+            let mut outs = Vec::new();
+            for _ in 0..40 {
+                let obb = random_obb(&mut rng).quantize();
+                let cfg = OocdConfig::new(IuKind::Pipelined);
+                outs.push(run_oocd_with_faults(&tree, &obb, &cfg, &mut inj, false));
+            }
+            (outs, *inj.counters())
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
     }
 
     #[test]

@@ -493,6 +493,10 @@ pub fn run_sas(
         if can_dispatch_next {
             t += 1;
         } else {
+            // Loop invariant: the batch is not finished (checked above),
+            // so either a motion has pending work and a CDU is free
+            // (handled in the branch above) or some CDU is busy — an
+            // empty in-flight set here would mean lost work.
             let next_finish = cdus
                 .iter()
                 .flatten()

@@ -218,6 +218,9 @@ impl Octree {
                 match occ {
                     Occupancy::Full => return (true, stats),
                     Occupancy::Partial => {
+                        // Builder invariant: `build_in` allocates a child
+                        // node for every octant it marks Partial, so the
+                        // address is always present on a built tree.
                         let child = node
                             .child_address(octant)
                             .expect("partial octant must have a child");
@@ -241,7 +244,10 @@ impl Octree {
                 match node.occupancy(octant) {
                     Occupancy::Full => out.push(oct_aabb),
                     Occupancy::Partial => {
-                        stack.push((node.child_address(octant).unwrap(), oct_aabb));
+                        let child = node
+                            .child_address(octant)
+                            .expect("partial octant must have a child");
+                        stack.push((child, oct_aabb));
                     }
                     Occupancy::Empty => {}
                 }

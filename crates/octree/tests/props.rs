@@ -1,7 +1,7 @@
 //! Property-based tests for octree construction and traversal.
 
 use mp_geometry::{Aabb, AabbF, Vec3};
-use mp_octree::{Node, Octree, Scene, SceneConfig};
+use mp_octree::{Node, Occupancy, Octree, Scene, SceneConfig};
 use proptest::prelude::*;
 
 fn any_obstacle() -> impl Strategy<Value = AabbF> {
@@ -91,6 +91,38 @@ proptest! {
         if direct_hit {
             prop_assert!(tree.overlaps_aabb(&q));
         }
+    }
+
+    /// Decoding must be total: `Node::unpack` never panics on any 24-bit
+    /// SRAM word — including reserved occupancy patterns, which must come
+    /// back as a structured error (the fault-injection study corrupts
+    /// words at this exact boundary).
+    #[test]
+    fn unpack_is_total_over_the_word_space(raw in 0u32..(1 << 24)) {
+        match Node::unpack(raw) {
+            Ok(node) => {
+                // A decodable word re-packs to itself.
+                prop_assert_eq!(node.pack().unwrap(), raw);
+            }
+            Err(_) => {
+                // Only reserved occupancy bit pairs (0b11) are undecodable.
+                let reserved = (0..8).any(|i| (raw >> (2 * i)) & 0b11 == 0b11);
+                prop_assert!(reserved, "word {raw:#08x} rejected without a reserved pattern");
+            }
+        }
+    }
+
+    /// pack ∘ unpack is the identity on every hardware-valid node.
+    #[test]
+    fn pack_unpack_roundtrip(bits in prop::collection::vec(0u8..3, 8), base in 0u32..=0xFF) {
+        let mut occ = [Occupancy::Empty; 8];
+        for (i, &b) in bits.iter().enumerate() {
+            occ[i] = Occupancy::from_bits(b).unwrap();
+        }
+        let node = Node::new(occ, base);
+        let word = node.pack().unwrap();
+        prop_assert!(word < (1 << 24));
+        prop_assert_eq!(Node::unpack(word).unwrap(), node);
     }
 
     /// Scene generation always respects its configured invariants.

@@ -25,6 +25,9 @@ pub mod queries;
 pub mod rrt;
 pub mod sampler;
 
-pub use mpnet::{plan, MpnetConfig, PlanOutcome, PlanStats};
+pub use mpnet::{
+    plan, plan_with_fallback, BudgetResource, FallbackPlanOutcome, MpnetConfig, PlanBudget,
+    PlanFailure, PlanOutcome, PlanStats,
+};
 pub use rrt::{rrt, rrt_connect, RrtConfig, RrtOutcome};
 pub use sampler::{encode_scene, MlpSampler, NeuralSampler, OracleSampler};

@@ -17,7 +17,109 @@ use mp_robot::{JointConfig, Motion, MotionDescriptor};
 use mpaccel_core::sas::FunctionMode;
 use mpaccel_core::trace::{PlannerTrace, TraceEvent};
 
+use crate::rrt::{rrt_connect, RrtConfig, RrtOutcome};
 use crate::sampler::NeuralSampler;
+
+/// Modeled microseconds per collision-detection pose query: ~100 CECDU
+/// cycles (Table 1 band) at the 2.24 ns multi-cycle clock (§7.3).
+pub const CD_QUERY_MODELED_US: f64 = 0.224;
+
+/// Modeled microseconds per neural inference on the DNN accelerator
+/// (Fig 11): a small MLP at a few GMAC/s.
+pub const NN_CALL_MODELED_US: f64 = 2.0;
+
+/// Resource budget for one planning attempt (realtime deadline
+/// enforcement). `None` fields are unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlanBudget {
+    /// Cap on collision-detection pose queries.
+    pub max_cd_queries: Option<u64>,
+    /// Cap on neural-sampler inferences.
+    pub max_nn_calls: Option<u64>,
+    /// Cap on modeled wall time (µs), combining CD and NN work through
+    /// [`CD_QUERY_MODELED_US`] and [`NN_CALL_MODELED_US`].
+    pub max_modeled_us: Option<f64>,
+}
+
+impl PlanBudget {
+    /// No limits (the pre-budget behaviour).
+    pub fn unlimited() -> PlanBudget {
+        PlanBudget::default()
+    }
+
+    /// A pure modeled-deadline budget.
+    pub fn deadline_us(us: f64) -> PlanBudget {
+        PlanBudget {
+            max_modeled_us: Some(us),
+            ..PlanBudget::default()
+        }
+    }
+
+    /// Modeled time (µs) for a given amount of work.
+    pub fn modeled_us(cd_queries: u64, nn_calls: u64) -> f64 {
+        cd_queries as f64 * CD_QUERY_MODELED_US + nn_calls as f64 * NN_CALL_MODELED_US
+    }
+
+    /// The resource this work load has exhausted, if any.
+    pub fn exceeded(&self, cd_queries: u64, nn_calls: u64) -> Option<BudgetResource> {
+        if self.max_cd_queries.is_some_and(|cap| cd_queries >= cap) {
+            return Some(BudgetResource::CdQueries);
+        }
+        if self.max_nn_calls.is_some_and(|cap| nn_calls >= cap) {
+            return Some(BudgetResource::NnCalls);
+        }
+        if self
+            .max_modeled_us
+            .is_some_and(|cap| PlanBudget::modeled_us(cd_queries, nn_calls) >= cap)
+        {
+            return Some(BudgetResource::ModeledTime);
+        }
+        None
+    }
+}
+
+/// Which budgeted resource ran out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// [`PlanBudget::max_cd_queries`].
+    CdQueries,
+    /// [`PlanBudget::max_nn_calls`].
+    NnCalls,
+    /// [`PlanBudget::max_modeled_us`].
+    ModeledTime,
+}
+
+/// Why a planning attempt failed (structured, for graceful degradation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanFailure {
+    /// The start configuration collides.
+    InvalidStart,
+    /// The goal configuration collides.
+    InvalidGoal,
+    /// The sampler kept proposing colliding poses from both ends despite
+    /// escalating exploration noise (Phase-1 stall).
+    Stalled,
+    /// The bidirectional expansion budget ran out before the trees met.
+    NotConnected,
+    /// Replanning attempts or the waypoint cap ran out while repairing an
+    /// infeasible coarse path.
+    ReplanExhausted,
+    /// A [`PlanBudget`] resource ran out.
+    BudgetExhausted(BudgetResource),
+}
+
+impl core::fmt::Display for PlanFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlanFailure::InvalidStart => write!(f, "start configuration collides"),
+            PlanFailure::InvalidGoal => write!(f, "goal configuration collides"),
+            PlanFailure::Stalled => write!(f, "sampler stalled (all proposals colliding)"),
+            PlanFailure::NotConnected => write!(f, "bidirectional expansion never connected"),
+            PlanFailure::ReplanExhausted => write!(f, "replanning budget exhausted"),
+            PlanFailure::BudgetExhausted(r) => write!(f, "plan budget exhausted ({r:?})"),
+        }
+    }
+}
 
 /// Planner parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -38,6 +140,12 @@ pub struct MpnetConfig {
     pub replan_noise: f32,
     /// Seed for the replanning noise.
     pub seed: u64,
+    /// Resource budget (deadline enforcement); unlimited by default.
+    pub budget: PlanBudget,
+    /// Consecutive fully-stalled expansion steps (every sampler proposal
+    /// colliding, both ends, despite escalating noise) before the planner
+    /// gives up with [`PlanFailure::Stalled`].
+    pub max_stall_streak: u32,
 }
 
 impl Default for MpnetConfig {
@@ -50,6 +158,8 @@ impl Default for MpnetConfig {
             max_waypoints: 64,
             replan_noise: 0.6,
             seed: 0,
+            budget: PlanBudget::unlimited(),
+            max_stall_streak: 12,
         }
     }
 }
@@ -78,6 +188,8 @@ pub struct PlanOutcome {
     pub trace: PlannerTrace,
     /// Work statistics.
     pub stats: PlanStats,
+    /// Why planning failed (`None` on success).
+    pub failure: Option<PlanFailure>,
 }
 
 impl PlanOutcome {
@@ -135,22 +247,47 @@ pub fn plan(
     });
 
     // Endpoint validity.
-    if checker.check_pose(start) || checker.check_pose(goal) {
+    if checker.check_pose(start) {
         stats.cd_queries = checker.stats().pose_queries - cd_before;
         return PlanOutcome {
             path: None,
             trace,
             stats,
+            failure: Some(PlanFailure::InvalidStart),
         };
     }
+    if checker.check_pose(goal) {
+        stats.cd_queries = checker.stats().pose_queries - cd_before;
+        return PlanOutcome {
+            path: None,
+            trace,
+            stats,
+            failure: Some(PlanFailure::InvalidGoal),
+        };
+    }
+
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+    let robot = checker.robot().clone();
 
     // --- Phase 1: bidirectional neural planning. ---
     let mut path_a = vec![start.clone()];
     let mut path_b = vec![goal.clone()];
     let mut connected = false;
+    let mut stall_streak = 0u32;
+    let mut phase1_failure = None;
     for _ in 0..cfg.max_expansion_steps {
-        let end_a = path_a.last().expect("non-empty").clone();
-        let end_b = path_b.last().expect("non-empty").clone();
+        if let Some(r) = cfg
+            .budget
+            .exceeded(checker.stats().pose_queries - cd_before, stats.nn_calls)
+        {
+            phase1_failure = Some(PlanFailure::BudgetExhausted(r));
+            break;
+        }
+        // Invariant: both paths are seeded with one endpoint above and
+        // only ever grow, so `last()` always exists.
+        let end_a = path_a.last().expect("path_a seeded with start").clone();
+        let end_b = path_b.last().expect("path_b seeded with goal").clone();
         // Direct connection attempt (one-motion feasibility batch).
         let m = Motion::new(end_a.clone(), end_b.clone());
         if run_feasibility_batch(checker, &mut trace, &[m], step).is_none() {
@@ -159,14 +296,27 @@ pub fn plan(
         }
         // Propose the next pose from the active end, rejecting proposals
         // that land inside obstacles (a colliding waypoint can never be
-        // repaired by replanning around it).
+        // repaired by replanning around it). After a fully-stalled step,
+        // widen the proposals with escalating exploration noise.
         let mut next = None;
         for _ in 0..5 {
             trace.push(TraceEvent::NnInference {
                 macs: sampler.macs(),
             });
             stats.nn_calls += 1;
-            let candidate = sampler.next_pose(&end_a, &end_b);
+            let proposal = sampler.next_pose(&end_a, &end_b);
+            let candidate = if stall_streak > 0 {
+                let amp = cfg.replan_noise * stall_streak as f32;
+                robot.clamp_config(&JointConfig::new(
+                    proposal
+                        .as_slice()
+                        .iter()
+                        .map(|&v| v + rng.gen_range(-amp..=amp))
+                        .collect(),
+                ))
+            } else {
+                proposal
+            };
             if !checker.check_pose(&candidate) {
                 next = Some(candidate);
                 break;
@@ -175,6 +325,13 @@ pub fn plan(
         trace.push(TraceEvent::Controller { instructions: 300 });
         if let Some(next) = next {
             path_a.push(next);
+            stall_streak = 0;
+        } else {
+            stall_streak += 1;
+            if stall_streak >= cfg.max_stall_streak.max(1) {
+                phase1_failure = Some(PlanFailure::Stalled);
+                break;
+            }
         }
         std::mem::swap(&mut path_a, &mut path_b);
     }
@@ -184,6 +341,7 @@ pub fn plan(
             path: None,
             trace,
             stats,
+            failure: Some(phase1_failure.unwrap_or(PlanFailure::NotConnected)),
         };
     }
     path_b.reverse();
@@ -197,13 +355,22 @@ pub fn plan(
     stats.coarse_waypoints = path.len();
 
     // --- Phase 2: feasibility checking + neural replanning. ---
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
-    let robot = checker.robot().clone();
     let mut attempts = cfg.replan_attempts;
     let mut consecutive_failures = 0u32;
     let mut last_bad = usize::MAX;
     loop {
+        if let Some(r) = cfg
+            .budget
+            .exceeded(checker.stats().pose_queries - cd_before, stats.nn_calls)
+        {
+            stats.cd_queries = checker.stats().pose_queries - cd_before;
+            return PlanOutcome {
+                path: None,
+                trace,
+                stats,
+                failure: Some(PlanFailure::BudgetExhausted(r)),
+            };
+        }
         let motions: Vec<Motion> = path
             .windows(2)
             .map(|w| Motion::new(w[0].clone(), w[1].clone()))
@@ -217,6 +384,7 @@ pub fn plan(
                         path: None,
                         trace,
                         stats,
+                        failure: Some(PlanFailure::ReplanExhausted),
                     };
                 }
                 attempts -= 1;
@@ -278,6 +446,102 @@ pub fn plan(
         path: Some(path),
         trace,
         stats,
+        failure: None,
+    }
+}
+
+/// Outcome of [`plan_with_fallback`]: the neural attempt plus, when it
+/// failed recoverably, the classical fallback.
+#[derive(Clone, Debug)]
+pub struct FallbackPlanOutcome {
+    /// The MPNet attempt (trace, stats, structured failure).
+    pub mpnet: PlanOutcome,
+    /// The RRT-Connect fallback run, when one was made.
+    pub rrt: Option<RrtOutcome>,
+    /// The path that will be executed, from whichever planner produced it.
+    pub path: Option<Vec<JointConfig>>,
+    /// Whether the executed path came from the degraded (fallback) mode.
+    pub degraded: bool,
+}
+
+impl FallbackPlanOutcome {
+    /// Whether any planner found a path.
+    pub fn solved(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Total collision-detection queries across both attempts.
+    pub fn total_cd_queries(&self) -> u64 {
+        self.mpnet.stats.cd_queries + self.rrt.as_ref().map_or(0, |r| r.cd_queries)
+    }
+}
+
+/// Graceful degradation: plan with MPNet and, on a recoverable failure
+/// (stall, disconnection, replanning/budget exhaustion), fall back to
+/// RRT-Connect with whatever collision-detection budget remains.
+///
+/// Invalid endpoints ([`PlanFailure::InvalidStart`]/[`InvalidGoal`]) are
+/// not recoverable — no sampler can fix a colliding endpoint — so no
+/// fallback runs for those.
+///
+/// [`InvalidGoal`]: PlanFailure::InvalidGoal
+///
+/// # Panics
+///
+/// Panics if start/goal DOF mismatch the checker's robot.
+pub fn plan_with_fallback(
+    checker: &mut impl CollisionChecker,
+    sampler: &mut impl NeuralSampler,
+    start: &JointConfig,
+    goal: &JointConfig,
+    cfg: &MpnetConfig,
+    fallback: &RrtConfig,
+) -> FallbackPlanOutcome {
+    let mpnet = plan(checker, sampler, start, goal, cfg);
+    if let Some(path) = mpnet.path.clone() {
+        return FallbackPlanOutcome {
+            mpnet,
+            rrt: None,
+            path: Some(path),
+            degraded: false,
+        };
+    }
+    match mpnet.failure {
+        Some(PlanFailure::InvalidStart) | Some(PlanFailure::InvalidGoal) => {
+            return FallbackPlanOutcome {
+                mpnet,
+                rrt: None,
+                path: None,
+                degraded: false,
+            };
+        }
+        _ => {}
+    }
+    // Hand the fallback whatever CD budget the neural attempt left over.
+    let mut rrt_cfg = *fallback;
+    if let Some(cap) = cfg.budget.max_cd_queries {
+        let remaining = cap.saturating_sub(mpnet.stats.cd_queries);
+        if remaining == 0 {
+            return FallbackPlanOutcome {
+                mpnet,
+                rrt: None,
+                path: None,
+                degraded: false,
+            };
+        }
+        let fallback_cap = rrt_cfg
+            .max_cd_queries
+            .map_or(remaining, |c| c.min(remaining));
+        rrt_cfg.max_cd_queries = Some(fallback_cap);
+    }
+    let out = rrt_connect(checker, start, goal, &rrt_cfg, cfg.seed ^ 0xFA11_BACC);
+    let path = out.path.clone();
+    let degraded = path.is_some();
+    FallbackPlanOutcome {
+        mpnet,
+        rrt: Some(out),
+        path,
+        degraded,
     }
 }
 
@@ -389,6 +653,7 @@ mod tests {
         for seed in 0..4 {
             let scene = Scene::random(SceneConfig::paper(), seed);
             for (qi, q) in crate::queries::generate_queries(&robot, &scene, 3, seed + 50)
+                .expect("paper scenes yield valid queries")
                 .iter()
                 .enumerate()
             {
@@ -445,7 +710,7 @@ mod tests {
         // (real MPNet gets this from its learned distribution). Require at
         // least one success over a batch of seeds, and verify that success.
         let mut solved_any = false;
-        for seed in 0..12 {
+        for seed in 0..60 {
             let mut sampler = OracleSampler::new(robot.clone(), seed)
                 .with_noise(0.6)
                 .with_step(0.5);
@@ -502,6 +767,217 @@ mod tests {
             panic!("both plans should succeed in free space");
         };
         assert!(lw <= lo + 1e-4, "shortcut path {lw} longer than raw {lo}");
+    }
+
+    /// A sampler that always proposes the same (typically colliding) pose
+    /// — the degenerate "collapsed network" regression case for stall
+    /// detection.
+    struct CollapsedSampler {
+        pose: JointConfig,
+    }
+
+    impl crate::sampler::NeuralSampler for CollapsedSampler {
+        fn next_pose(&mut self, _current: &JointConfig, _goal: &JointConfig) -> JointConfig {
+            self.pose.clone()
+        }
+        fn macs(&self) -> u64 {
+            1000
+        }
+    }
+
+    #[test]
+    fn collapsed_sampler_reports_stall_instead_of_burning_steps() {
+        let robot = RobotModel::planar_2dof();
+        // Obstacle covering the collapsed proposal's end effector.
+        let bad = JointConfig::new(vec![0.9, 0.1]);
+        let ee = mp_robot::fk::end_effector(&robot, &bad);
+        // A wall also blocks the straight start->goal sweep, so phase 1
+        // cannot connect directly.
+        let block = Aabb::new(Vec3::new(0.55, 0.35, 0.0), Vec3::new(0.08, 0.08, 0.3));
+        let tree = Octree::build(&[Aabb::new(ee, Vec3::splat(0.12)), block], 5);
+        let mut checker = SoftwareChecker::new(robot.clone(), tree);
+        let mut sampler = CollapsedSampler { pose: bad };
+        let cfg = MpnetConfig {
+            max_expansion_steps: 1000,
+            // Noise escalation cannot save a sampler stuck inside a wide
+            // obstacle every single time if noise is tiny.
+            replan_noise: 0.01,
+            ..MpnetConfig::default()
+        };
+        let out = plan(
+            &mut checker,
+            &mut sampler,
+            &JointConfig::zeros(2),
+            &JointConfig::new(vec![1.5, 0.0]),
+            &cfg,
+        );
+        assert!(!out.solved());
+        assert_eq!(out.failure, Some(PlanFailure::Stalled));
+        // Bailed after max_stall_streak steps (x5 proposals), not 1000.
+        assert!(
+            out.stats.nn_calls <= 5 * u64::from(cfg.max_stall_streak),
+            "burned {} NN calls before stalling out",
+            out.stats.nn_calls
+        );
+    }
+
+    #[test]
+    fn stall_escalation_noise_can_rescue_a_streak() {
+        // Same collapsed sampler, but with real escalation noise the
+        // perturbed proposals eventually escape the obstacle.
+        let robot = RobotModel::planar_2dof();
+        let bad = JointConfig::new(vec![0.9, 0.1]);
+        let ee = mp_robot::fk::end_effector(&robot, &bad);
+        let tree = Octree::build(&[Aabb::new(ee, Vec3::splat(0.03))], 5);
+        let mut checker = SoftwareChecker::new(robot.clone(), tree);
+        let mut solved = false;
+        for seed in 0..8 {
+            let mut sampler = CollapsedSampler { pose: bad.clone() };
+            let cfg = MpnetConfig {
+                replan_noise: 0.8,
+                max_stall_streak: 8,
+                seed,
+                ..MpnetConfig::default()
+            };
+            let out = plan(
+                &mut checker,
+                &mut sampler,
+                &JointConfig::zeros(2),
+                &JointConfig::new(vec![1.5, 0.0]),
+                &cfg,
+            );
+            if out.solved() {
+                solved = true;
+                break;
+            }
+        }
+        assert!(solved, "escalation noise never rescued the stall");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_and_respected() {
+        let robot = RobotModel::jaco2();
+        let scene = Scene::random(SceneConfig::paper(), 3);
+        let mut checker = SoftwareChecker::new(robot.clone(), scene.octree());
+        let mut sampler = OracleSampler::new(robot.clone(), 1);
+        let cfg = MpnetConfig {
+            budget: PlanBudget {
+                max_cd_queries: Some(5),
+                ..PlanBudget::default()
+            },
+            ..MpnetConfig::default()
+        };
+        let out = plan(
+            &mut checker,
+            &mut sampler,
+            &robot.home(),
+            &far_goal(&robot),
+            &cfg,
+        );
+        if let Some(PlanFailure::BudgetExhausted(r)) = out.failure {
+            assert_eq!(r, BudgetResource::CdQueries);
+            assert!(!out.solved());
+        } else {
+            // 5 queries can only suffice if the direct motion is free,
+            // which these obstacle scenes make effectively impossible.
+            panic!("expected budget exhaustion, got {:?}", out.failure);
+        }
+        // The nn-call and deadline budgets trip too.
+        let nn_cfg = MpnetConfig {
+            budget: PlanBudget {
+                max_nn_calls: Some(0),
+                ..PlanBudget::default()
+            },
+            ..MpnetConfig::default()
+        };
+        let out = plan(
+            &mut checker,
+            &mut sampler,
+            &robot.home(),
+            &far_goal(&robot),
+            &nn_cfg,
+        );
+        assert!(matches!(
+            out.failure,
+            Some(PlanFailure::BudgetExhausted(BudgetResource::NnCalls))
+                | Some(PlanFailure::BudgetExhausted(BudgetResource::CdQueries))
+                | None
+        ));
+        let deadline = MpnetConfig {
+            budget: PlanBudget::deadline_us(1.0),
+            ..MpnetConfig::default()
+        };
+        let out = plan(
+            &mut checker,
+            &mut sampler,
+            &robot.home(),
+            &far_goal(&robot),
+            &deadline,
+        );
+        assert_eq!(
+            out.failure,
+            Some(PlanFailure::BudgetExhausted(BudgetResource::ModeledTime))
+        );
+    }
+
+    #[test]
+    fn fallback_rescues_a_stalled_neural_planner() {
+        let robot = RobotModel::planar_2dof();
+        let bad = JointConfig::new(vec![0.9, 0.1]);
+        let ee = mp_robot::fk::end_effector(&robot, &bad);
+        let block = Aabb::new(Vec3::new(0.55, 0.35, 0.0), Vec3::new(0.08, 0.08, 0.3));
+        let tree = Octree::build(&[Aabb::new(ee, Vec3::splat(0.12)), block], 5);
+        let mut checker = SoftwareChecker::new(robot.clone(), tree);
+        let mut sampler = CollapsedSampler { pose: bad };
+        let cfg = MpnetConfig {
+            replan_noise: 0.01,
+            budget: PlanBudget {
+                max_cd_queries: Some(50_000),
+                ..PlanBudget::default()
+            },
+            ..MpnetConfig::default()
+        };
+        let out = plan_with_fallback(
+            &mut checker,
+            &mut sampler,
+            &JointConfig::zeros(2),
+            &JointConfig::new(vec![1.5, 0.0]),
+            &cfg,
+            &RrtConfig::default(),
+        );
+        assert_eq!(out.mpnet.failure, Some(PlanFailure::Stalled));
+        assert!(out.solved(), "RRT-Connect should rescue this scene");
+        assert!(out.degraded);
+        let rrt_run = out.rrt.as_ref().expect("fallback ran");
+        assert!(rrt_run.solved());
+        // The fallback respected the remaining budget.
+        assert!(out.total_cd_queries() <= 50_000 + 100);
+        // And the path it returned is genuinely feasible.
+        let mut verifier = SoftwareChecker::new(robot.clone(), checker.octree().clone());
+        assert_eq!(
+            check_path(&mut verifier, out.path.as_ref().unwrap(), 0.04),
+            None
+        );
+    }
+
+    #[test]
+    fn fallback_skips_unrecoverable_endpoint_failures() {
+        let robot = RobotModel::jaco2();
+        let ee = mp_robot::fk::end_effector(&robot, &robot.home());
+        let tree = Octree::build(&[Aabb::new(ee, Vec3::splat(0.1))], 5);
+        let mut checker = SoftwareChecker::new(robot.clone(), tree);
+        let mut sampler = OracleSampler::new(robot.clone(), 0);
+        let out = plan_with_fallback(
+            &mut checker,
+            &mut sampler,
+            &robot.home(),
+            &far_goal(&robot),
+            &MpnetConfig::default(),
+            &RrtConfig::default(),
+        );
+        assert_eq!(out.mpnet.failure, Some(PlanFailure::InvalidStart));
+        assert!(out.rrt.is_none(), "no fallback for a colliding endpoint");
+        assert!(!out.solved());
     }
 
     #[test]

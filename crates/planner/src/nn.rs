@@ -165,12 +165,20 @@ impl Mlp {
 
     /// Input dimensionality.
     pub fn input_size(&self) -> usize {
-        self.layers.first().expect("non-empty").inputs
+        // Invariant: `Mlp::new` rejects size lists shorter than two, so
+        // the network always has at least one layer.
+        self.layers
+            .first()
+            .expect("Mlp::new guarantees >= 1 layer")
+            .inputs
     }
 
     /// Output dimensionality.
     pub fn output_size(&self) -> usize {
-        self.layers.last().expect("non-empty").outputs
+        self.layers
+            .last()
+            .expect("Mlp::new guarantees >= 1 layer")
+            .outputs
     }
 
     /// Total MACs per inference (the DNN-accelerator latency driver).
@@ -212,13 +220,17 @@ impl Mlp {
         assert!(!data.is_empty(), "empty dataset");
         let mut total_loss = 0.0;
         for (x, target) in data {
-            // Forward, keeping activations.
-            let mut acts: Vec<Vec<f32>> = vec![x.clone()];
+            // Forward, keeping activations. `acts[i]` is layer i's input;
+            // `cur` tracks the latest activation so no panicking `last()`
+            // lookups are needed.
+            let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len() + 1);
+            let mut cur = x.clone();
             for layer in &self.layers {
-                let next = layer.forward(acts.last().expect("nonempty"));
-                acts.push(next);
+                let next = layer.forward(&cur);
+                acts.push(std::mem::replace(&mut cur, next));
             }
-            let y = acts.last().expect("nonempty");
+            acts.push(cur);
+            let y = &acts[self.layers.len()];
             assert_eq!(y.len(), target.len(), "target size mismatch");
             total_loss += y
                 .iter()

@@ -22,6 +22,10 @@ pub struct RrtConfig {
     pub goal_bias: f32,
     /// C-space discretization for edge checking.
     pub cspace_step: f32,
+    /// Collision-detection query budget for this run (`None` = only the
+    /// node cap applies). Lets a degraded planner hand RRT whatever
+    /// budget remains after a failed MPNet attempt.
+    pub max_cd_queries: Option<u64>,
 }
 
 impl Default for RrtConfig {
@@ -31,6 +35,7 @@ impl Default for RrtConfig {
             steer_step: 0.5,
             goal_bias: 0.1,
             cspace_step: 0.04,
+            max_cd_queries: None,
         }
     }
 }
@@ -99,6 +104,11 @@ fn steer(from: &JointConfig, to: &JointConfig, step: f32) -> JointConfig {
     }
 }
 
+fn out_of_budget(checker: &impl CollisionChecker, cd_before: u64, cfg: &RrtConfig) -> bool {
+    cfg.max_cd_queries
+        .is_some_and(|cap| checker.stats().pose_queries - cd_before >= cap)
+}
+
 /// Plain RRT with goal bias.
 ///
 /// # Panics
@@ -122,7 +132,7 @@ pub fn rrt(
         };
     }
     let mut tree = Tree::new(start.clone());
-    while tree.nodes.len() < cfg.max_nodes {
+    while tree.nodes.len() < cfg.max_nodes && !out_of_budget(checker, cd_before, cfg) {
         let target = if rng.gen::<f32>() < cfg.goal_bias {
             goal.clone()
         } else {
@@ -184,7 +194,8 @@ pub fn rrt_connect(
     let mut tb = Tree::new(goal.clone());
     let mut a_is_start = true;
 
-    while ta.nodes.len() + tb.nodes.len() < cfg.max_nodes {
+    while ta.nodes.len() + tb.nodes.len() < cfg.max_nodes && !out_of_budget(checker, cd_before, cfg)
+    {
         let target = robot.sample_config(&mut rng);
         // Extend tree A toward the sample.
         let near_a = ta.nearest(&target);
@@ -195,6 +206,9 @@ pub fn rrt_connect(
             ta.parents.push(near_a);
             // Greedily connect tree B toward the new node.
             loop {
+                if out_of_budget(checker, cd_before, cfg) {
+                    break;
+                }
                 let near_b = tb.nearest(&new_a);
                 let step_b = steer(&tb.nodes[near_b], &new_a, cfg.steer_step);
                 let edge_b = Motion::new(tb.nodes[near_b].clone(), step_b.clone());
@@ -276,7 +290,9 @@ mod tests {
         let mut total = 0;
         for seed in 0..4 {
             let scene = Scene::random(SceneConfig::paper(), seed);
-            for q in crate::queries::generate_queries(&robot, &scene, 2, seed + 60) {
+            for q in crate::queries::generate_queries(&robot, &scene, 2, seed + 60)
+                .expect("paper scenes yield valid queries")
+            {
                 total += 1;
                 let mut checker = SoftwareChecker::new(robot.clone(), scene.octree());
                 let out = rrt_connect(
@@ -318,6 +334,37 @@ mod tests {
             3,
         );
         assert!(!out.solved());
+    }
+
+    #[test]
+    fn cd_budget_caps_the_search() {
+        let robot = RobotModel::planar_2dof();
+        // Goal pose inside an obstacle: unsolvable, so only the budget
+        // (not success) can end the run early.
+        let goal = JointConfig::new(vec![1.0, 0.0]);
+        let ee = mp_robot::fk::end_effector(&robot, &goal);
+        let tree = Octree::build(
+            &[mp_geometry::Aabb::new(ee, mp_geometry::Vec3::splat(0.05))],
+            5,
+        );
+        let cfg = RrtConfig {
+            max_cd_queries: Some(150),
+            ..RrtConfig::default()
+        };
+        let mut c1 = SoftwareChecker::new(robot.clone(), tree.clone());
+        let a = rrt(&mut c1, &JointConfig::zeros(2), &goal, &cfg, 3);
+        let mut c2 = SoftwareChecker::new(robot.clone(), tree.clone());
+        let b = rrt_connect(&mut c2, &JointConfig::zeros(2), &goal, &cfg, 4);
+        for out in [a, b] {
+            assert!(!out.solved());
+            // The cap is checked between edges, so one in-flight edge of
+            // slack is allowed.
+            assert!(
+                out.cd_queries < 150 + 100,
+                "spent {} queries",
+                out.cd_queries
+            );
+        }
     }
 
     #[test]

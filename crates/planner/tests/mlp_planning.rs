@@ -48,7 +48,9 @@ fn distilled_mlp_plans_around_obstacles_with_replanning() {
     let robot = RobotModel::jaco2();
     let scene = Scene::random(SceneConfig::paper(), 2);
     let tree = scene.octree();
-    let query = mp_planner::queries::generate_queries(&robot, &scene, 1, 8).remove(0);
+    let query = mp_planner::queries::generate_queries(&robot, &scene, 1, 8)
+        .expect("query generation")[0]
+        .clone();
     let mut sampler = trained_sampler(&robot, &scene);
     // The MLP is deterministic, so exploration comes entirely from the
     // replanning noise; give it more attempts.

@@ -1,0 +1,443 @@
+//! Fault models for the resilience study: seeded fault plans, a
+//! deterministic injector, and the counters the recovery layers maintain.
+//!
+//! The fault surface is MPAccel-specific: single-bit upsets in the packed
+//! 24-bit octree node words (§5.2's SRAM encoding), stuck-at and slowed
+//! CECDUs, collision-detection results dropped or corrupted on the result
+//! bus, and fixed-point saturation events in the intersection datapath.
+//! The injector is a pure function of its [`FaultPlan`] seed, so every
+//! campaign is reproducible bit-for-bit.
+//!
+//! Detection mechanisms live with the hardware models (`mpaccel-core`);
+//! this module only decides *when* a fault strikes and keeps the books.
+
+/// The kinds of hardware fault the injector can introduce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A single-bit upset in a packed 24-bit octree node word (or its
+    /// parity bit) read from the on-chip SRAM.
+    SramBitFlip,
+    /// A CECDU latches up and replays its previous result instead of
+    /// evaluating the dispatched pose.
+    StuckUnit,
+    /// A CECDU completes correctly but several times slower than modeled
+    /// (voltage droop / thermal throttling).
+    SlowUnit,
+    /// A collision-detection result is lost on the result bus and never
+    /// reaches the scheduler.
+    DroppedResult,
+    /// A collision-detection verdict arrives with its collision bit
+    /// inverted.
+    CorruptedVerdict,
+    /// A fixed-point saturation event in the intersection datapath flips
+    /// one link's verdict.
+    Saturation,
+}
+
+impl FaultKind {
+    /// Number of fault kinds.
+    pub const COUNT: usize = 6;
+
+    /// All fault kinds, in a fixed order.
+    pub const ALL: [FaultKind; FaultKind::COUNT] = [
+        FaultKind::SramBitFlip,
+        FaultKind::StuckUnit,
+        FaultKind::SlowUnit,
+        FaultKind::DroppedResult,
+        FaultKind::CorruptedVerdict,
+        FaultKind::Saturation,
+    ];
+
+    /// Stable index of this kind (for counter arrays).
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::SramBitFlip => 0,
+            FaultKind::StuckUnit => 1,
+            FaultKind::SlowUnit => 2,
+            FaultKind::DroppedResult => 3,
+            FaultKind::CorruptedVerdict => 4,
+            FaultKind::Saturation => 5,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::SramBitFlip => "sram-bit-flip",
+            FaultKind::StuckUnit => "stuck-unit",
+            FaultKind::SlowUnit => "slow-unit",
+            FaultKind::DroppedResult => "dropped-result",
+            FaultKind::CorruptedVerdict => "corrupted-verdict",
+            FaultKind::Saturation => "saturation",
+        }
+    }
+}
+
+/// Per-kind fault probabilities plus the campaign seed.
+///
+/// Rates are per *opportunity*: per SRAM word read for
+/// [`FaultKind::SramBitFlip`], per dispatched query for the unit- and
+/// bus-level kinds, per link for [`FaultKind::Saturation`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's RNG.
+    pub seed: u64,
+    rates: [f64; FaultKind::COUNT],
+}
+
+impl FaultPlan {
+    /// A fault-free plan (rates all zero).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: [0.0; FaultKind::COUNT],
+        }
+    }
+
+    /// The same rate for every fault kind.
+    pub fn uniform(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: [rate.clamp(0.0, 1.0); FaultKind::COUNT],
+        }
+    }
+
+    /// The configured rate for one kind.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        self.rates[kind.index()]
+    }
+
+    /// Overrides the rate for one kind (clamped to `0.0..=1.0`).
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> FaultPlan {
+        self.rates[kind.index()] = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Whether every rate is zero.
+    pub fn is_fault_free(&self) -> bool {
+        self.rates.iter().all(|&r| r == 0.0)
+    }
+}
+
+/// Resilience bookkeeping shared by the injector and the recovery layers.
+///
+/// The injector records injections; the hardware models and the recovery
+/// wrapper (`mpaccel-core::fault`) record everything else. `escaped`
+/// counts *undetected wrong verdicts*; undetected faults whose verdict
+/// still came out right are `masked`. Conservative "collision wins"
+/// resolutions are counted as `conservative_promotions` (and as
+/// `false_positives` when the pose was actually free) — never as escapes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    /// Pose queries evaluated through the fault-tolerant path.
+    pub queries: u64,
+    /// Injected faults, indexed by [`FaultKind::index`].
+    pub injected_by_kind: [u64; FaultKind::COUNT],
+    /// Faults caught by a detection mechanism (parity, structural checks,
+    /// sequence tags, watchdog, sticky saturation flags).
+    pub detected: u64,
+    /// Undetected faults whose final verdict was still correct.
+    pub masked: u64,
+    /// Undetected faults that changed the final verdict.
+    pub escaped: u64,
+    /// Query re-dispatches to a different unit after a detection.
+    pub redispatches: u64,
+    /// Queries resolved conservatively ("collision wins") after the
+    /// re-dispatch budget ran out.
+    pub conservative_promotions: u64,
+    /// Units quarantined after repeated strikes.
+    pub quarantined: u64,
+    /// Software-oracle spot checks performed by the voter.
+    pub oracle_checks: u64,
+    /// Voter overrides (free verdict promoted to collision).
+    pub oracle_overrides: u64,
+    /// Wrong-free verdicts delivered to the scheduler (the safety metric;
+    /// must be zero whenever detection is enabled).
+    pub false_negatives: u64,
+    /// Wrong-colliding verdicts delivered (includes conservative
+    /// promotions of actually-free poses).
+    pub false_positives: u64,
+}
+
+impl ResilienceCounters {
+    /// Injected faults of one kind.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected_by_kind[kind.index()]
+    }
+
+    /// Total injected faults across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_by_kind.iter().sum()
+    }
+
+    /// Accumulates another counter set into this one (campaigns aggregate
+    /// per-scene injector counters into a sweep-point total).
+    pub fn merge(&mut self, other: &ResilienceCounters) {
+        self.queries += other.queries;
+        for (into, from) in self
+            .injected_by_kind
+            .iter_mut()
+            .zip(other.injected_by_kind.iter())
+        {
+            *into += from;
+        }
+        self.detected += other.detected;
+        self.masked += other.masked;
+        self.escaped += other.escaped;
+        self.redispatches += other.redispatches;
+        self.conservative_promotions += other.conservative_promotions;
+        self.quarantined += other.quarantined;
+        self.oracle_checks += other.oracle_checks;
+        self.oracle_overrides += other.oracle_overrides;
+        self.false_negatives += other.false_negatives;
+        self.false_positives += other.false_positives;
+    }
+}
+
+/// Number of data bits in a packed octree node word.
+pub const SRAM_WORD_BITS: u32 = 24;
+
+/// Data bits plus the even-parity bit stored alongside each word.
+pub const SRAM_PROTECTED_BITS: u32 = SRAM_WORD_BITS + 1;
+
+/// Even parity over the 24 data bits of a packed node word.
+pub fn parity24(word: u32) -> u32 {
+    (word & 0x00FF_FFFF).count_ones() & 1
+}
+
+/// One single-bit SRAM upset applied to a packed node word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SramUpset {
+    /// The (possibly corrupted) 24-bit data word after the upset.
+    pub word: u32,
+    /// Which of the 25 protected bits flipped (24 = the parity bit).
+    pub flipped_bit: u32,
+    /// Whether the stored parity still matches the data. A single-bit
+    /// upset always breaks even parity, so this is `false`; kept explicit
+    /// so multi-bit extensions stay honest.
+    pub parity_ok: bool,
+}
+
+/// A deterministic, seeded fault injector.
+///
+/// # Examples
+///
+/// ```
+/// use mp_sim::fault::{FaultInjector, FaultKind, FaultPlan};
+///
+/// let mut inj = FaultInjector::new(FaultPlan::uniform(1.0, 7));
+/// assert!(inj.fires(FaultKind::SramBitFlip));
+/// let upset = inj.corrupt_sram_word(0x00AB_CDEF);
+/// assert!(!upset.parity_ok);
+/// assert_eq!(inj.counters().injected(FaultKind::SramBitFlip), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: [u64; 4],
+    counters: ResilienceCounters,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// Creates an injector for a plan; identical plans yield identical
+    /// fault sequences.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let mut sm = plan.seed;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = splitmix64(&mut sm);
+        }
+        if state.iter().all(|&s| s == 0) {
+            state[0] = 0x4D50_4163_6365_6C21; // avoid the xoshiro fixed point
+        }
+        FaultInjector {
+            plan,
+            state,
+            counters: ResilienceCounters::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The accumulated resilience counters.
+    pub fn counters(&self) -> &ResilienceCounters {
+        &self.counters
+    }
+
+    /// Mutable counters, for the recovery layers to record detections,
+    /// retries, and verdict classifications.
+    pub fn counters_mut(&mut self) -> &mut ResilienceCounters {
+        &mut self.counters
+    }
+
+    /// Zeroes the counters (the RNG stream is unaffected).
+    pub fn reset_counters(&mut self) {
+        self.counters = ResilienceCounters::default();
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (public domain reference constants).
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform pick in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Decides whether a fault of `kind` strikes at this opportunity and
+    /// records the injection when it does. Only call this at points where
+    /// the fault can actually be applied.
+    pub fn fires(&mut self, kind: FaultKind) -> bool {
+        let rate = self.plan.rate(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        let fire = self.unit_f64() < rate;
+        if fire {
+            self.counters.injected_by_kind[kind.index()] += 1;
+        }
+        fire
+    }
+
+    /// Flips exactly one of the 25 protected bits (24 data + 1 parity) of
+    /// a packed node word. Flipping the parity bit leaves the data intact
+    /// but still breaks the stored parity.
+    pub fn corrupt_sram_word(&mut self, word: u32) -> SramUpset {
+        let bit = self.pick(SRAM_PROTECTED_BITS as usize) as u32;
+        let corrupted = if bit < SRAM_WORD_BITS {
+            word ^ (1 << bit)
+        } else {
+            word
+        };
+        SramUpset {
+            word: corrupted & 0x00FF_FFFF,
+            flipped_bit: bit,
+            parity_ok: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_deterministic() {
+        let plan = FaultPlan::uniform(0.3, 42);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..500 {
+            for kind in FaultKind::ALL {
+                assert_eq!(a.fires(kind), b.fires(kind));
+            }
+        }
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.corrupt_sram_word(0x123456), b.corrupt_sram_word(0x123456));
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform(0.25, 9));
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|_| inj.fires(FaultKind::DroppedResult))
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.2..0.3).contains(&frac), "hit rate {frac}");
+        assert_eq!(
+            inj.counters().injected(FaultKind::DroppedResult),
+            hits as u64
+        );
+        assert_eq!(inj.counters().injected_total(), hits as u64);
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::none(1));
+        assert!(inj.plan().is_fault_free());
+        for _ in 0..1000 {
+            for kind in FaultKind::ALL {
+                assert!(!inj.fires(kind));
+            }
+        }
+        assert_eq!(inj.counters().injected_total(), 0);
+    }
+
+    #[test]
+    fn per_kind_rates_are_independent() {
+        let plan = FaultPlan::none(5).with_rate(FaultKind::StuckUnit, 1.0);
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.fires(FaultKind::StuckUnit));
+        assert!(!inj.fires(FaultKind::SramBitFlip));
+        assert_eq!(inj.counters().injected(FaultKind::StuckUnit), 1);
+        assert_eq!(inj.counters().injected(FaultKind::SramBitFlip), 0);
+    }
+
+    #[test]
+    fn sram_upsets_flip_exactly_one_protected_bit() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform(1.0, 3));
+        let word = 0x00A5_C3F0;
+        let mut parity_hits = 0;
+        for _ in 0..200 {
+            let upset = inj.corrupt_sram_word(word);
+            assert!(!upset.parity_ok);
+            assert!(upset.flipped_bit < SRAM_PROTECTED_BITS);
+            if upset.flipped_bit == SRAM_WORD_BITS {
+                parity_hits += 1;
+                assert_eq!(upset.word, word);
+            } else {
+                assert_eq!((upset.word ^ word).count_ones(), 1);
+            }
+            // An even-parity check against the original word's parity bit
+            // always catches the single-bit upset.
+            let stored_parity = parity24(word) ^ u32::from(upset.flipped_bit == SRAM_WORD_BITS);
+            assert_ne!(parity24(upset.word), stored_parity);
+        }
+        assert!(parity_hits > 0, "parity bit never targeted in 200 upsets");
+    }
+
+    #[test]
+    fn counters_track_recovery_fields() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform(1.0, 2));
+        let _ = inj.fires(FaultKind::Saturation);
+        inj.counters_mut().detected += 2;
+        inj.counters_mut().redispatches += 1;
+        inj.counters_mut().masked += 1;
+        let c = *inj.counters();
+        assert_eq!(c.detected, 2);
+        assert_eq!(c.redispatches, 1);
+        assert_eq!(c.masked, 1);
+        inj.reset_counters();
+        assert_eq!(*inj.counters(), ResilienceCounters::default());
+    }
+}

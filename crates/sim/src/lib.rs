@@ -10,15 +10,21 @@
 //!    tests is used as a measure of energy" (§7.1). See [`counters`].
 //! 3. **Area/power** — per-block 45 nm synthesis results (Table 2),
 //!    composed structurally into unit and system totals. See [`power`].
+//!
+//! The resilience study adds a fourth ingredient: seeded hardware [`fault`]
+//! plans (SRAM bit flips, stuck/slow units, dropped or corrupted results,
+//! saturation events) with the counters the recovery layers maintain.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counters;
 pub mod energy;
+pub mod fault;
 pub mod power;
 pub mod time;
 
 pub use counters::OpCounter;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, ResilienceCounters};
 pub use power::{AreaPower, CecduConfig, IuKind, MpaccelConfig};
 pub use time::ClockDomain;

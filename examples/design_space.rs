@@ -24,7 +24,7 @@ fn main() {
     let octree = scene.octree();
 
     // One representative planning trace to replay on every configuration.
-    let query = generate_queries(&robot, &scene, 1, 3).remove(0);
+    let query = generate_queries(&robot, &scene, 1, 3).expect("query generation")[0].clone();
     let mut checker = SoftwareChecker::new(robot.clone(), octree.clone());
     let mut sampler = OracleSampler::new(robot.clone(), 9);
     let out = plan(

@@ -20,7 +20,7 @@ use mpaccel::robot::RobotModel;
 fn main() {
     let robot = RobotModel::baxter();
     let base_scene = Scene::random(SceneConfig::paper(), 3);
-    let query = generate_queries(&robot, &base_scene, 1, 11).remove(0);
+    let query = generate_queries(&robot, &base_scene, 1, 11).expect("query generation")[0].clone();
 
     println!("dynamic environment: static clutter + one moving obstacle\n");
     println!("tick  obstacle.y  solved  waypoints  MPAccel (ms)  budget");

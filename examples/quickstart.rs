@@ -26,7 +26,7 @@ fn main() {
 
     // 2. The robot and a planning query.
     let robot = RobotModel::baxter();
-    let query = generate_queries(&robot, &scene, 1, 7).remove(0);
+    let query = generate_queries(&robot, &scene, 1, 7).expect("query generation")[0].clone();
     println!(
         "robot: {} ({} DOF, {} links); query distance {:.2} rad",
         robot.name(),

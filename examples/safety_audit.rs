@@ -19,7 +19,7 @@ fn main() {
     let robot = RobotModel::baxter();
     let scene = Scene::random(SceneConfig::paper(), 21);
     let octree = scene.octree();
-    let query = generate_queries(&robot, &scene, 1, 5).remove(0);
+    let query = generate_queries(&robot, &scene, 1, 5).expect("query generation")[0].clone();
 
     // Plan (retry seeds; the planner is stochastic).
     let out = (0..10).find_map(|seed| {

@@ -15,7 +15,7 @@ fn plan_with_retries(
     scene: &Scene,
     seed: u64,
 ) -> Option<mpaccel::planner::mpnet::PlanOutcome> {
-    let q = generate_queries(robot, scene, 1, seed).remove(0);
+    let q = generate_queries(robot, scene, 1, seed).expect("query generation")[0].clone();
     for attempt in 0..6 {
         let mut checker = SoftwareChecker::new(robot.clone(), scene.octree());
         let mut sampler = OracleSampler::new(robot.clone(), seed * 10 + attempt);
@@ -85,7 +85,7 @@ fn trace_replay_is_deterministic() {
 fn planning_is_deterministic_per_seed() {
     let robot = RobotModel::jaco2();
     let scene = Scene::random(SceneConfig::paper(), 2);
-    let q = generate_queries(&robot, &scene, 1, 4).remove(0);
+    let q = generate_queries(&robot, &scene, 1, 4).expect("query generation")[0].clone();
     let run = || {
         let mut checker = SoftwareChecker::new(robot.clone(), scene.octree());
         let mut sampler = OracleSampler::new(robot.clone(), 33);

@@ -148,7 +148,8 @@ fn checker_adapter_is_a_drop_in_for_planners() {
     let scene = Scene::random(SceneConfig::paper(), 0);
     let sim = CecduSim::new(robot.clone(), scene.octree(), CecduConfig::default());
     let mut checker = CecduChecker::new(sim);
-    let queries = mpaccel::planner::queries::generate_queries(&robot, &scene, 1, 31);
+    let queries = mpaccel::planner::queries::generate_queries(&robot, &scene, 1, 31)
+        .expect("query generation");
     let out = rrt_connect(
         &mut checker,
         &queries[0].start,

@@ -1,0 +1,129 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this repository is hermetic (no crates.io
+//! access), so the workspace patches `criterion` with this zero-dependency
+//! subset: [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. It runs each benchmark for a fixed number of timed samples and
+//! prints mean per-iteration wall time — no statistics, plots, or HTML
+//! reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints the mean per-iteration duration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.total.as_nanos() as f64 / bencher.iters as f64
+        };
+        println!("  {id}: {mean_ns:.1} ns/iter ({} iters)", bencher.iters);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure to drive the timed routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` once untimed (warm-up), then `samples` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a single named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary from [`criterion_group!`] outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(demo_benches, bench_demo);
+
+    #[test]
+    fn group_runs_benchmarks() {
+        demo_benches();
+    }
+}
