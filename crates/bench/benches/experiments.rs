@@ -66,24 +66,36 @@ fn bench_kernels(c: &mut Criterion) {
     use mp_geometry::sat::sat_first_separating;
     use mp_geometry::{Aabb, Mat3, Obb, Vec3};
     use mp_octree::{Scene, SceneConfig};
+    use mp_planner::nn::{Activation, Mlp, MlpScratch};
     use mp_robot::{fk, RobotModel, TrigMode};
     use mp_sim::IuKind;
     use mpaccel_core::oocd::{run_oocd, OocdConfig};
 
-    let obb = Obb::new(
+    let obb_f32 = Obb::new(
         Vec3::new(0.3, 0.1, -0.2),
         Vec3::new(0.25, 0.06, 0.06),
         Mat3::rotation_z(0.7) * Mat3::rotation_y(0.3),
-    )
-    .quantize();
-    let aabb = Aabb::new(Vec3::new(0.25, 0.0, 0.0), Vec3::splat(0.25)).quantize();
+    );
+    let obb = obb_f32.quantize();
+    let aabb_f32 = Aabb::new(Vec3::new(0.25, 0.0, 0.0), Vec3::splat(0.25));
+    let aabb = aabb_f32.quantize();
+    let sphere = obb_f32.bounding_sphere();
     let cfg = CascadeConfig::proposed();
     let tree = Scene::random(SceneConfig::paper(), 0).octree();
     let robot = RobotModel::jaco2();
     let home = robot.home();
     let oocd_cfg = OocdConfig::new(IuKind::MultiCycle);
+    // An MPNet-shaped MLP (scene encoding + 2 poses in, pose delta out).
+    let mlp = Mlp::new(&[66, 128, 128, 6], Activation::Tanh, 7);
+    let mlp_input = vec![0.1f32; 66];
+    let mut mlp_scratch = MlpScratch::default();
+    let mut frames = Vec::new();
+    let mut obbs = Vec::new();
 
     let mut g = c.benchmark_group("kernels");
+    g.bench_function("sphere_aabb", |b| {
+        b.iter(|| black_box(black_box(&sphere).overlaps_aabb(black_box(&aabb_f32))))
+    });
     g.bench_function("sat_15_axes", |b| {
         b.iter(|| black_box(sat_first_separating(black_box(&obb), black_box(&aabb))))
     });
@@ -93,8 +105,36 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function("oocd_query", |b| {
         b.iter(|| black_box(run_oocd(black_box(&tree), black_box(&obb), &oocd_cfg)))
     });
+    g.bench_function("octree_query", |b| {
+        // The software checker's traversal: SAT test at every candidate leaf.
+        b.iter(|| {
+            black_box(tree.collides_with_stats(&mut |leaf| {
+                cascaded_obb_aabb(black_box(&obb_f32), leaf, &cfg).colliding
+            }))
+        })
+    });
     g.bench_function("forward_kinematics_obbs", |b| {
-        b.iter(|| black_box(fk::link_obbs(&robot, black_box(&home), TrigMode::Hardware)))
+        b.iter(|| {
+            fk::link_obbs_into(
+                &robot,
+                black_box(&home),
+                TrigMode::Hardware,
+                &mut frames,
+                &mut obbs,
+            );
+            black_box(obbs.len())
+        })
+    });
+    g.bench_function("mlp_forward", |b| {
+        b.iter(|| black_box(mlp.forward(black_box(&mlp_input))))
+    });
+    g.bench_function("mlp_forward_scratch", |b| {
+        b.iter(|| {
+            black_box(
+                mlp.forward_scratch(black_box(&mlp_input), &mut mlp_scratch)
+                    .len(),
+            )
+        })
     });
     g.bench_function("octree_build", |b| {
         let scene = Scene::random(SceneConfig::paper(), 3);

@@ -1,12 +1,19 @@
 //! Regenerates every table and figure in one run (the per-experiment
 //! binaries are faster for iterating on a single artifact).
 //!
+//! Experiments fan out over a work-stealing thread pool sized by
+//! `MPACCEL_THREADS` (default: all cores); reports are collected and
+//! printed in canonical order, bit-identical to a serial run. A
+//! machine-readable timing summary is written to `BENCH.json` (path
+//! override: `MPACCEL_BENCH_JSON`).
+//!
 //! Set `MPACCEL_CSV_DIR=<dir>` to additionally write each report as CSV
 //! for downstream plotting.
 
-use mp_bench::Report;
+use mp_bench::{engine, Report};
+use threadpool::ThreadPool;
 
-fn emit(name: &str, report: Report) {
+fn emit(name: &str, report: &Report) {
     println!("{report}");
     if let Ok(dir) = std::env::var("MPACCEL_CSV_DIR") {
         let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
@@ -20,22 +27,18 @@ fn emit(name: &str, report: Report) {
 
 fn main() {
     let scale = mp_bench::Scale::from_env();
+    let pool = ThreadPool::from_env();
+    // Thread count and wall-clock timings go to stderr: stdout carries only
+    // deterministic report content, byte-identical for any MPACCEL_THREADS.
     println!("MPAccel reproduction — full evaluation at {scale:?} scale\n");
-    use mp_bench::experiments as e;
-    emit("fig01b", e::fig01b::run(scale));
-    emit("fig07", e::fig07::run(scale));
-    emit("fig08", e::fig08::run(scale));
-    emit("fig15", e::fig15::run(scale));
-    emit("fig16", e::fig16::run(scale));
-    emit("fig17", e::fig17::run(scale));
-    emit("fig18", e::fig18::run(scale));
-    emit("table1", e::table1::run(scale));
-    emit("table2", e::table2::run(scale));
-    emit("fig19", e::fig19::run(scale));
-    emit("fig20", e::fig20::run(scale));
-    emit("table3", e::table3::run(scale));
-    emit("codacc", e::codacc::run(scale));
-    emit("ablation", e::ablation::run(scale));
-    emit("planners", e::planners::run(scale));
-    emit("faults", e::faults::run(scale));
+    eprintln!("running with {} thread(s)", pool.threads());
+    let summary = engine::run_all(scale, &pool);
+    for r in &summary.results {
+        emit(r.name, &r.report);
+    }
+    eprintln!("{}", summary.timing_report());
+    match engine::write_bench_json(&summary) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH.json: {e}"),
+    }
 }

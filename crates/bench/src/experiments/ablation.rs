@@ -8,7 +8,7 @@ use mp_robot::RobotModel;
 use mp_sim::{CecduConfig, IuKind};
 use mpaccel_core::sas::{IntraPolicy, SasConfig};
 
-use crate::experiments::common::{replay, CduKind, SasAggregate};
+use crate::experiments::common::{replay_memo, CduKind, ReplayMemo, SasAggregate};
 use crate::report::{f2, f3, Report};
 use crate::workloads::{collect_test_pairs, BenchWorkload, Scale};
 
@@ -67,13 +67,15 @@ pub const STEPS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 /// Sweeps the MCSP coarse-step size at 8 CDUs with real CECDUs.
 pub fn step_size_data(scale: Scale) -> Vec<(usize, SasAggregate)> {
-    let mut w = BenchWorkload::cached(RobotModel::jaco2(), scale);
+    let mut w = (*BenchWorkload::cached(RobotModel::jaco2(), scale)).clone();
     w.batches.retain(|b| b.motions.len() >= 2);
     let cdu = CduKind::Cecdu(CecduConfig::new(4, IuKind::MultiCycle));
     let max_batches = match scale {
         Scale::Quick => 16,
         Scale::Full => 0,
     };
+    // Every step size replays the same batches: share pose responses.
+    let mut memo = ReplayMemo::new(cdu);
     STEPS
         .iter()
         .map(|&step| {
@@ -81,7 +83,10 @@ pub fn step_size_data(scale: Scale) -> Vec<(usize, SasAggregate)> {
                 intra: IntraPolicy::CoarseStep { step },
                 ..SasConfig::mcsp(8)
             };
-            (step, replay(&w, &cfg, cdu, max_batches))
+            (
+                step,
+                replay_memo(&w, &cfg, cdu, max_batches, None, &mut memo),
+            )
         })
         .collect()
 }

@@ -1,10 +1,13 @@
 //! Shared machinery: replaying CD batches through SAS under different
 //! scheduler configurations and CDU models.
 
+use std::collections::HashMap;
+
 use mp_collision::SoftwareChecker;
+use mp_robot::JointConfig;
 use mp_sim::CecduConfig;
 use mpaccel_core::cecdu::CecduSim;
-use mpaccel_core::sas::{run_sas, CduModel, CecduCdu, IdealCdu, SasConfig};
+use mpaccel_core::sas::{run_sas, CduModel, CduResponse, CecduCdu, IdealCdu, SasConfig};
 
 use crate::workloads::BenchWorkload;
 
@@ -40,6 +43,65 @@ impl SasAggregate {
     }
 }
 
+/// Memoized per-pose CDU responses shared across replays of one workload.
+///
+/// The Fig 7/15/16 sweeps replay the *same* batches under dozens of
+/// scheduler configurations; a CDU answers a pose query as a pure function
+/// of `(scene, pose)` for a fixed CDU kind ([`CecduSim::check_pose`] takes
+/// `&self`, and the ideal CDU's verdict/ops depend on the pose alone), so
+/// the response is computed once per distinct pose and reused across every
+/// configuration. Aggregates are bit-identical to the unmemoized replay —
+/// the scheduler decides *which* poses are queried, the memo only skips
+/// recomputing answers it has already produced.
+pub struct ReplayMemo {
+    cdu: CduKind,
+    map: HashMap<(usize, Vec<u32>), CduResponse>,
+}
+
+impl ReplayMemo {
+    /// Creates an empty memo for one CDU kind. Replays through this memo
+    /// must use the same kind (different CDU configurations answer with
+    /// different latencies/ops).
+    pub fn new(cdu: CduKind) -> ReplayMemo {
+        ReplayMemo {
+            cdu,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Distinct `(scene, pose)` queries answered so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no query has been answered yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A CDU wrapper that consults the memo before the wrapped model.
+struct MemoCdu<'a, M> {
+    inner: M,
+    scene: usize,
+    map: &'a mut HashMap<(usize, Vec<u32>), CduResponse>,
+}
+
+impl<M: CduModel> CduModel for MemoCdu<'_, M> {
+    fn query(&mut self, pose: &JointConfig) -> CduResponse {
+        let key = (
+            self.scene,
+            pose.as_slice().iter().map(|v| v.to_bits()).collect(),
+        );
+        if let Some(r) = self.map.get(&key) {
+            return *r;
+        }
+        let r = self.inner.query(pose);
+        self.map.insert(key, r);
+        r
+    }
+}
+
 /// Replays every batch of the workload through SAS with the given
 /// scheduler configuration and CDU kind, summing cycles and queries.
 ///
@@ -52,7 +114,7 @@ pub fn replay(
     cdu: CduKind,
     max_batches: usize,
 ) -> SasAggregate {
-    replay_with_mode(workload, sas, cdu, max_batches, None)
+    replay_inner(workload, sas, cdu, max_batches, None, None)
 }
 
 /// Like [`replay`], optionally overriding every batch's function mode
@@ -65,6 +127,36 @@ pub fn replay_with_mode(
     max_batches: usize,
     mode_override: Option<mpaccel_core::sas::FunctionMode>,
 ) -> SasAggregate {
+    replay_inner(workload, sas, cdu, max_batches, mode_override, None)
+}
+
+/// Like [`replay_with_mode`], answering pose queries through a shared
+/// [`ReplayMemo`] so configuration sweeps over the same batches pay for
+/// each distinct pose only once.
+///
+/// # Panics
+///
+/// Panics if the memo was created for a different [`CduKind`].
+pub fn replay_memo(
+    workload: &BenchWorkload,
+    sas: &SasConfig,
+    cdu: CduKind,
+    max_batches: usize,
+    mode_override: Option<mpaccel_core::sas::FunctionMode>,
+    memo: &mut ReplayMemo,
+) -> SasAggregate {
+    assert_eq!(memo.cdu, cdu, "memo was built for a different CDU kind");
+    replay_inner(workload, sas, cdu, max_batches, mode_override, Some(memo))
+}
+
+fn replay_inner(
+    workload: &BenchWorkload,
+    sas: &SasConfig,
+    cdu: CduKind,
+    max_batches: usize,
+    mode_override: Option<mpaccel_core::sas::FunctionMode>,
+    mut memo: Option<&mut ReplayMemo>,
+) -> SasAggregate {
     let mut agg = SasAggregate::default();
     let limit = if max_batches == 0 {
         workload.batches.len()
@@ -72,18 +164,50 @@ pub fn replay_with_mode(
         max_batches.min(workload.batches.len())
     };
     for batch in &workload.batches[..limit] {
-        let octree = workload.octree(batch.scene);
         let mode = mode_override.unwrap_or(batch.mode);
         let r = match cdu {
             CduKind::Ideal => {
-                let checker = SoftwareChecker::new(workload.robot.clone(), octree);
-                let mut model = IdealCdu::new(checker);
-                run_sas(&batch.motions, mode, sas, &mut model)
+                let checker = SoftwareChecker::new(
+                    workload.robot.clone(),
+                    workload.octree_ref(batch.scene).clone(),
+                );
+                let model = IdealCdu::new(checker);
+                match memo.as_deref_mut() {
+                    Some(m) => {
+                        let mut model = MemoCdu {
+                            inner: model,
+                            scene: batch.scene,
+                            map: &mut m.map,
+                        };
+                        run_sas(&batch.motions, mode, sas, &mut model)
+                    }
+                    None => {
+                        let mut model = model;
+                        run_sas(&batch.motions, mode, sas, &mut model)
+                    }
+                }
             }
             CduKind::Cecdu(cfg) => {
-                let sim = CecduSim::new(workload.robot.clone(), octree, cfg);
-                let mut model = CecduCdu::new(sim);
-                run_sas(&batch.motions, mode, sas, &mut model)
+                let sim = CecduSim::new(
+                    workload.robot.clone(),
+                    workload.octree_ref(batch.scene).clone(),
+                    cfg,
+                );
+                let model = CecduCdu::new(sim);
+                match memo.as_deref_mut() {
+                    Some(m) => {
+                        let mut model = MemoCdu {
+                            inner: model,
+                            scene: batch.scene,
+                            map: &mut m.map,
+                        };
+                        run_sas(&batch.motions, mode, sas, &mut model)
+                    }
+                    None => {
+                        let mut model = model;
+                        run_sas(&batch.motions, mode, sas, &mut model)
+                    }
+                }
             }
         };
         agg.cycles += r.cycles;
@@ -124,6 +248,33 @@ mod tests {
         );
         assert!(np.speedup_vs(&seq) > 1.0);
         assert!(np.energy_vs(&seq) >= 1.0);
+    }
+
+    #[test]
+    fn memoized_replay_is_bit_identical() {
+        let w = BenchWorkload::cached(RobotModel::jaco2(), Scale::Quick);
+        let cdu = CduKind::Cecdu(CecduConfig::new(4, IuKind::MultiCycle));
+        let mut memo = ReplayMemo::new(cdu);
+        for cfg in [
+            SasConfig::sequential(),
+            SasConfig::mcsp(8),
+            SasConfig::naive_parallel(4),
+        ] {
+            let plain = replay(&w, &cfg, cdu, 6);
+            let memoized = replay_memo(&w, &cfg, cdu, 6, None, &mut memo);
+            assert_eq!(plain, memoized, "memo must not change aggregates");
+        }
+        assert!(!memo.is_empty());
+        assert!(memo.len() >= 6, "memo should hold many distinct poses");
+    }
+
+    #[test]
+    #[should_panic(expected = "different CDU kind")]
+    fn memo_rejects_mismatched_cdu_kind() {
+        let w = BenchWorkload::cached(RobotModel::jaco2(), Scale::Quick);
+        let mut memo = ReplayMemo::new(CduKind::Ideal);
+        let cdu = CduKind::Cecdu(CecduConfig::new(4, IuKind::MultiCycle));
+        let _ = replay_memo(&w, &SasConfig::sequential(), cdu, 1, None, &mut memo);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use mp_robot::RobotModel;
 use mp_sim::{CecduConfig, IuKind};
 use mpaccel_core::sas::SasConfig;
 
-use crate::experiments::common::{replay, CduKind, SasAggregate};
+use crate::experiments::common::{replay_memo, CduKind, ReplayMemo, SasAggregate};
 use crate::report::{f2, Report};
 use crate::workloads::{BenchWorkload, Scale};
 
@@ -31,9 +31,16 @@ pub fn data(scale: Scale) -> Vec<(&'static str, SasAggregate)> {
         Scale::Quick => 24,
         Scale::Full => 300,
     };
+    // The four modes replay the same batches: share pose responses.
+    let mut memo = ReplayMemo::new(cdu);
     modes()
         .into_iter()
-        .map(|(name, cfg)| (name, replay(&w, &cfg, cdu, max_batches)))
+        .map(|(name, cfg)| {
+            (
+                name,
+                replay_memo(&w, &cfg, cdu, max_batches, None, &mut memo),
+            )
+        })
         .collect()
 }
 

@@ -5,7 +5,7 @@
 use mp_robot::RobotModel;
 use mpaccel_core::sas::{IntraPolicy, SasConfig};
 
-use crate::experiments::common::{replay_with_mode, CduKind, SasAggregate};
+use crate::experiments::common::{replay_memo, CduKind, ReplayMemo, SasAggregate};
 use crate::report::{f2, Report};
 use crate::workloads::{BenchWorkload, Scale};
 use mpaccel_core::sas::FunctionMode;
@@ -58,7 +58,7 @@ pub struct Fig07Data {
 
 /// Runs the limit study.
 pub fn data(scale: Scale) -> Fig07Data {
-    let mut w = BenchWorkload::cached(RobotModel::jaco2(), scale);
+    let mut w = (*BenchWorkload::cached(RobotModel::jaco2(), scale)).clone();
     // Redundant work only materializes when motions collide part-way:
     // prefer multi-motion batches that contain at least one colliding
     // motion (the MPNet workload's coarse proposals before replanning),
@@ -73,22 +73,28 @@ pub fn data(scale: Scale) -> Fig07Data {
     };
     // Complete-mode semantics: the limit study measures scheduling
     // redundancy per motion, independent of function-mode early stops.
-    let sequential = replay_with_mode(
+    // All 57 configurations replay the same batches, so pose verdicts are
+    // shared through one memo (bit-identical aggregates, ~1 CD evaluation
+    // per distinct pose instead of ~57).
+    let mut memo = ReplayMemo::new(CduKind::Ideal);
+    let sequential = replay_memo(
         &w,
         &SasConfig::sequential().idealized(),
         CduKind::Ideal,
         max_batches,
         Some(FunctionMode::Complete),
+        &mut memo,
     );
     let mut points = Vec::new();
     for &n in &CDU_COUNTS {
         for (name, cfg) in policies(n) {
-            let agg = replay_with_mode(
+            let agg = replay_memo(
                 &w,
                 &cfg.idealized(),
                 CduKind::Ideal,
                 max_batches,
                 Some(FunctionMode::Complete),
+                &mut memo,
             );
             points.push((name, n, agg));
         }

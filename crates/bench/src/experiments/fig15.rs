@@ -6,7 +6,7 @@ use mp_robot::RobotModel;
 use mp_sim::{CecduConfig, IuKind};
 use mpaccel_core::sas::SasConfig;
 
-use crate::experiments::common::{replay, CduKind, SasAggregate};
+use crate::experiments::common::{replay_memo, CduKind, ReplayMemo, SasAggregate};
 use crate::report::{f2, pct_change, Report};
 use crate::workloads::{BenchWorkload, Scale};
 
@@ -43,11 +43,26 @@ pub fn data(scale: Scale) -> Fig15Data {
         Scale::Quick => 24,
         Scale::Full => 200,
     };
-    let sequential = replay(&w, &SasConfig::sequential(), cdu, max_batches);
+    // The 25 scheduler configurations replay the same batches; one memo
+    // shares each pose's CECDU response across them (bit-identical
+    // aggregates, each distinct pose simulated once).
+    let mut memo = ReplayMemo::new(cdu);
+    let sequential = replay_memo(
+        &w,
+        &SasConfig::sequential(),
+        cdu,
+        max_batches,
+        None,
+        &mut memo,
+    );
     let mut points = Vec::new();
     for &n in &CDU_COUNTS {
         for (name, cfg) in schedulers(n) {
-            points.push((name, n, replay(&w, &cfg, cdu, max_batches)));
+            points.push((
+                name,
+                n,
+                replay_memo(&w, &cfg, cdu, max_batches, None, &mut memo),
+            ));
         }
     }
     Fig15Data { sequential, points }

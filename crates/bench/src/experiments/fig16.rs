@@ -5,7 +5,7 @@ use mp_robot::RobotModel;
 use mp_sim::{CecduConfig, IuKind};
 use mpaccel_core::sas::SasConfig;
 
-use crate::experiments::common::{replay, CduKind, SasAggregate};
+use crate::experiments::common::{replay_memo, CduKind, ReplayMemo, SasAggregate};
 use crate::report::{f3, Report};
 use crate::workloads::{BenchWorkload, Scale};
 
@@ -21,7 +21,7 @@ pub fn data(scale: Scale) -> Vec<(usize, SasAggregate)> {
 /// shortcut pools where §7.1.1's "discardable motions get scheduled
 /// anyway" energy effect lives).
 pub fn data_with(scale: Scale, connectivity_only: bool) -> Vec<(usize, SasAggregate)> {
-    let mut w = BenchWorkload::cached(RobotModel::jaco2(), scale);
+    let mut w = (*BenchWorkload::cached(RobotModel::jaco2(), scale)).clone();
     // Group size only matters for multi-motion batches (full-path
     // feasibility checks and shortcut pools); single-motion direct-connect
     // probes would dilute the sweep.
@@ -38,11 +38,13 @@ pub fn data_with(scale: Scale, connectivity_only: bool) -> Vec<(usize, SasAggreg
         Scale::Quick => 16,
         Scale::Full => 300,
     };
+    // Every group size replays the same batches: share pose responses.
+    let mut memo = ReplayMemo::new(cdu);
     GROUP_SIZES
         .iter()
         .map(|&g| {
             let cfg = SasConfig::mcsp(8).with_group_size(g);
-            (g, replay(&w, &cfg, cdu, max_batches))
+            (g, replay_memo(&w, &cfg, cdu, max_batches, None, &mut memo))
         })
         .collect()
 }

@@ -14,9 +14,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiments;
 pub mod report;
 pub mod workloads;
 
+pub use engine::RunSummary;
 pub use report::Report;
 pub use workloads::Scale;

@@ -1,5 +1,7 @@
 //! Shared workload construction for the experiment harness.
 
+use std::sync::Arc;
+
 use mp_collision::SoftwareChecker;
 use mp_geometry::{AabbF, Obb};
 use mp_octree::{benchmark_scenes, Octree, Scene};
@@ -11,6 +13,7 @@ use mpaccel_core::sas::FunctionMode;
 use mpaccel_core::trace::{PlannerTrace, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use threadpool::ThreadPool;
 
 /// Workload scale: `quick` for tests/CI, `full` for paper-scale runs
 /// (10 scenes × 100 queries, §6).
@@ -68,14 +71,19 @@ pub struct CdBatchSpec {
     pub mode: FunctionMode,
 }
 
-/// A full benchmark workload: scenes, planner traces, and the CD batches
-/// they contain.
+/// A full benchmark workload: scenes, their prebuilt octrees, planner
+/// traces, and the CD batches they contain.
 #[derive(Clone, Debug)]
 pub struct BenchWorkload {
     /// The robot under evaluation.
     pub robot: RobotModel,
     /// Benchmark scenes (subset of the §6 suite at quick scale).
     pub scenes: Vec<Scene>,
+    /// One prebuilt octree per scene. Experiments replay thousands of CD
+    /// batches against the same handful of environments; building each
+    /// scene's tree once here (instead of per batch) removes the dominant
+    /// redundant setup cost of a full evaluation run.
+    octrees: Vec<Octree>,
     /// Per-query planner traces, tagged with their scene index.
     pub traces: Vec<(usize, PlannerTrace)>,
     /// All CD batches of all traces.
@@ -83,67 +91,85 @@ pub struct BenchWorkload {
 }
 
 impl BenchWorkload {
-    /// Returns the workload for a robot/scale, building it at most once per
-    /// process. Trace generation (planning hundreds of queries) dominates
-    /// experiment setup; every experiment and Criterion bench shares this
-    /// cache.
-    pub fn cached(robot: RobotModel, scale: Scale) -> BenchWorkload {
+    /// Returns the shared workload for a robot/scale, building it at most
+    /// once per process. Trace generation (planning hundreds of queries)
+    /// dominates experiment setup; every experiment and Criterion bench
+    /// shares the cached instance through the returned [`Arc`] without
+    /// deep-copying scenes or traces.
+    pub fn cached(robot: RobotModel, scale: Scale) -> Arc<BenchWorkload> {
+        BenchWorkload::cached_seeded(robot, scale, 0)
+    }
+
+    /// Like [`BenchWorkload::cached`], keyed by an additional base seed.
+    /// The cache key is the full workload content key `(robot, scale,
+    /// seed)`: two callers with the same key observe the identical
+    /// workload object; seed 0 reproduces the historical corpus
+    /// byte-for-byte.
+    pub fn cached_seeded(robot: RobotModel, scale: Scale, seed: u64) -> Arc<BenchWorkload> {
         use std::collections::HashMap;
         use std::sync::{Mutex, OnceLock};
-        static CACHE: OnceLock<Mutex<HashMap<(String, Scale), BenchWorkload>>> = OnceLock::new();
+        // Two-level locking: the map mutex is held only to look up or
+        // insert a per-key slot, never during a build, so concurrent
+        // experiments building *different* workloads (e.g. Jaco2 and
+        // Baxter) do not serialize; same-key callers block inside the
+        // slot's `OnceLock` until the one build finishes.
+        type Slot = Arc<OnceLock<Arc<BenchWorkload>>>;
+        type Cache = Mutex<HashMap<(String, Scale, u64), Slot>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        let key = (robot.name().to_string(), scale);
-        let mut guard = cache.lock().expect("workload cache poisoned");
-        guard
-            .entry(key)
-            .or_insert_with(|| BenchWorkload::build(robot, scale))
-            .clone()
+        let key = (robot.name().to_string(), scale, seed);
+        let slot = Arc::clone(
+            cache
+                .lock()
+                .expect("workload cache poisoned")
+                .entry(key)
+                .or_default(),
+        );
+        Arc::clone(slot.get_or_init(|| Arc::new(BenchWorkload::build_seeded(robot, scale, seed))))
     }
 
     /// Builds the MPNet workload for a robot at the given scale
-    /// (deterministic).
+    /// (deterministic, base seed 0).
     pub fn build(robot: RobotModel, scale: Scale) -> BenchWorkload {
+        BenchWorkload::build_seeded(robot, scale, 0)
+    }
+
+    /// Builds the MPNet workload for a robot/scale/seed triple. Every
+    /// random stream (query generation, planner sampling) is derived from
+    /// `(seed, scene index, query index)` alone, so the corpus is
+    /// identical however many threads build it.
+    pub fn build_seeded(robot: RobotModel, scale: Scale, seed: u64) -> BenchWorkload {
         let scenes: Vec<Scene> = benchmark_scenes()
             .into_iter()
             .take(scale.scenes())
             .collect();
+        let octrees: Vec<Octree> = scenes.iter().map(Scene::octree).collect();
         // Planning is embarrassingly parallel across scenes; full-scale
-        // workloads (10 scenes x 100 queries) benefit substantially.
-        let per_scene: Vec<Vec<PlannerTrace>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = scenes
+        // workloads (10 scenes x 100 queries) benefit substantially. The
+        // pool honours MPACCEL_THREADS and returns per-scene results in
+        // scene order, so the corpus is independent of the thread count.
+        let pool = ThreadPool::from_env();
+        let per_scene: Vec<Vec<PlannerTrace>> = pool.map(&scenes, |si, scene| {
+            let queries = generate_queries(
+                &robot,
+                scene,
+                scale.queries_per_scene(),
+                90 + seed.wrapping_mul(0x9E37_79B9) + si as u64,
+            )
+            .expect("benchmark scenes yield valid queries");
+            queries
                 .iter()
                 .enumerate()
-                .map(|(si, scene)| {
-                    let robot = robot.clone();
-                    scope.spawn(move || {
-                        let queries = generate_queries(
-                            &robot,
-                            scene,
-                            scale.queries_per_scene(),
-                            90 + si as u64,
-                        )
-                        .expect("benchmark scenes yield valid queries");
-                        queries
-                            .iter()
-                            .enumerate()
-                            .map(|(qi, q)| {
-                                let seed = (si * 1000 + qi) as u64;
-                                let mut checker =
-                                    SoftwareChecker::new(robot.clone(), scene.octree());
-                                let mut sampler = OracleSampler::new(robot.clone(), seed);
-                                let cfg = MpnetConfig {
-                                    seed,
-                                    ..MpnetConfig::default()
-                                };
-                                plan(&mut checker, &mut sampler, &q.start, &q.goal, &cfg).trace
-                            })
-                            .collect()
-                    })
+                .map(|(qi, q)| {
+                    let qseed = seed.wrapping_mul(0x85EB_CA6B) + (si * 1000 + qi) as u64;
+                    let mut checker = SoftwareChecker::new(robot.clone(), octrees[si].clone());
+                    let mut sampler = OracleSampler::new(robot.clone(), qseed);
+                    let cfg = MpnetConfig {
+                        seed: qseed,
+                        ..MpnetConfig::default()
+                    };
+                    plan(&mut checker, &mut sampler, &q.start, &q.goal, &cfg).trace
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scene planning thread panicked"))
                 .collect()
         });
         let mut traces = Vec::new();
@@ -167,18 +193,28 @@ impl BenchWorkload {
         BenchWorkload {
             robot,
             scenes,
+            octrees,
             traces,
             batches,
         }
     }
 
-    /// Octree of scene `i`.
+    /// Octree of scene `i` (a cheap clone of the prebuilt tree).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn octree(&self, i: usize) -> Octree {
-        self.scenes[i].octree()
+        self.octrees[i].clone()
+    }
+
+    /// Borrowed octree of scene `i` (for callers that only query).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn octree_ref(&self, i: usize) -> &Octree {
+        &self.octrees[i]
     }
 
     /// Total poses across all batches (upper bound on CD queries).

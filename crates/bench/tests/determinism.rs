@@ -1,0 +1,45 @@
+//! Determinism regression test for the parallel benchmark engine: the
+//! rendered reports must be byte-identical whatever the thread-pool width
+//! (the engine's core contract — see `engine.rs` and `--bin all`).
+//!
+//! A representative subset keeps the test fast in debug builds while still
+//! crossing every source of shared state: the workload cache (all), the
+//! replay memo (fig01b, fig16), the process-wide fault plan (faults), and
+//! per-experiment RNG seeding (fig17, planners).
+
+use mp_bench::engine::{run_selected, select};
+use mp_bench::Scale;
+use threadpool::ThreadPool;
+
+/// Experiments covering the engine's shared-state surfaces.
+const SUBSET: [&str; 5] = ["fig01b", "fig16", "fig17", "planners", "faults"];
+
+fn rendered(threads: usize) -> Vec<(String, String)> {
+    let pool = ThreadPool::new(threads);
+    let list = select(&SUBSET).expect("known names");
+    run_selected(&list, Scale::Quick, &pool)
+        .results
+        .into_iter()
+        .map(|r| (r.name.to_string(), r.report.to_string()))
+        .collect()
+}
+
+#[test]
+fn parallel_run_matches_serial_byte_for_byte() {
+    let serial = rendered(1);
+    let parallel = rendered(4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((sn, sr), (pn, pr)) in serial.iter().zip(&parallel) {
+        assert_eq!(sn, pn, "result order must be canonical");
+        assert_eq!(sr, pr, "report `{sn}` differs between 1 and 4 threads");
+    }
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    // Same width twice: catches per-run global state leaking into reports
+    // (e.g. the workload cache warming up differently on the second pass).
+    let a = rendered(2);
+    let b = rendered(2);
+    assert_eq!(a, b, "reports must be stable across runs in one process");
+}

@@ -1,8 +1,9 @@
 //! Pose-level collision checking.
 
 use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig};
+use mp_geometry::{Obb, Transform};
 use mp_octree::Octree;
-use mp_robot::fk::link_obbs;
+use mp_robot::fk::link_obbs_into;
 use mp_robot::{JointConfig, RobotModel, TrigMode};
 
 /// Counters accumulated across queries (the work metrics the paper's
@@ -62,6 +63,10 @@ pub struct SoftwareChecker {
     trig: TrigMode,
     cascade: CascadeConfig,
     stats: CdStats,
+    // FK buffers reused across `check_pose` calls (taken out for the
+    // duration of a query so the borrow checker sees disjoint state).
+    frame_buf: Vec<Transform>,
+    obb_buf: Vec<Obb<f32>>,
 }
 
 impl SoftwareChecker {
@@ -73,6 +78,8 @@ impl SoftwareChecker {
             trig: TrigMode::Exact,
             cascade: CascadeConfig::proposed(),
             stats: CdStats::default(),
+            frame_buf: Vec::new(),
+            obb_buf: Vec::new(),
         }
     }
 
@@ -108,7 +115,11 @@ impl CollisionChecker for SoftwareChecker {
     fn check_pose(&mut self, cfg: &JointConfig) -> bool {
         assert_eq!(cfg.dof(), self.robot.dof(), "configuration DOF mismatch");
         self.stats.pose_queries += 1;
-        let obbs = link_obbs(&self.robot, cfg, self.trig);
+        crate::metrics::record_pose_checks(1);
+        let mut frames = std::mem::take(&mut self.frame_buf);
+        let mut obbs = std::mem::take(&mut self.obb_buf);
+        link_obbs_into(&self.robot, cfg, self.trig, &mut frames, &mut obbs);
+        let mut colliding = false;
         for obb in &obbs {
             self.stats.link_tests += 1;
             let mut box_tests = 0u64;
@@ -124,10 +135,13 @@ impl CollisionChecker for SoftwareChecker {
             self.stats.nodes_visited += tstats.nodes_visited as u64;
             if hit {
                 // Early exit: subsequent links are not checked (§7.2.2).
-                return true;
+                colliding = true;
+                break;
             }
         }
-        false
+        self.frame_buf = frames;
+        self.obb_buf = obbs;
+        colliding
     }
 
     fn stats(&self) -> CdStats {

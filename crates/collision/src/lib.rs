@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod metrics;
 pub mod motion;
 pub mod self_collision;
 

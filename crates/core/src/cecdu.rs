@@ -126,6 +126,7 @@ impl CecduSim {
     /// Panics if `pose.dof()` does not match the robot.
     pub fn check_pose(&self, pose: &JointConfig) -> CecduResult {
         assert_eq!(pose.dof(), self.robot.dof(), "configuration DOF mismatch");
+        mp_collision::metrics::record_pose_checks(1);
         let obbs = link_obbs(&self.robot, pose, self.trig);
         let oocd_cfg = OocdConfig {
             iu: self.config.iu,

@@ -17,7 +17,7 @@
 
 use crate::aabb::Aabb;
 use crate::obb::Obb;
-use crate::sat::{sat_batch, AxisId, SatResult};
+use crate::sat::{sat_batch_range, AxisId, SatResult};
 use crate::scalar::Scalar;
 use crate::sphere::SPHERE_AABB_MULS;
 
@@ -62,9 +62,22 @@ impl StageSplit {
     ///
     /// Panics if `k > 2`.
     pub fn stage_axes(&self, k: usize) -> Vec<AxisId> {
+        let (start, len) = self.stage_range(k);
+        (start..start + len).map(AxisId::new).collect()
+    }
+
+    /// The 1-based `(start, len)` axis range of stage `k` — the
+    /// allocation-free form of [`StageSplit::stage_axes`] the cascade's
+    /// inner loop uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 2`.
+    #[inline]
+    pub fn stage_range(&self, k: usize) -> (u8, u8) {
         assert!(k < 3, "stage index out of range: {k}");
         let start: u8 = 1 + self.sizes[..k].iter().sum::<u8>();
-        (start..start + self.sizes[k]).map(AxisId::new).collect()
+        (start, self.sizes[k])
     }
 }
 
@@ -209,14 +222,15 @@ pub fn cascaded_obb_aabb<S: Scalar>(
         }
     }
 
-    // Stages 2-4: separating-axis batches.
+    // Stages 2-4: separating-axis batches (contiguous ranges — no per-call
+    // id buffer).
     for k in 0..3 {
-        let ids = cfg.split.stage_axes(k);
+        let (start, len) = cfg.split.stage_range(k);
         let SatResult {
             separating,
             mults: stage_mults,
             ..
-        } = sat_batch(obb, aabb, &ids);
+        } = sat_batch_range(obb, aabb, start, len);
         mults += stage_mults;
         stages += 1;
         if let Some(axis) = separating {

@@ -81,6 +81,7 @@ pub enum AxisClass {
 /// AABB faces project the OBB half-extents through one row of `|R|`
 /// (3 products); OBB faces also need the `t·u_j` projection (6); cross
 /// axes need 2 products each for the two radii and the distance (6).
+#[inline]
 pub fn axis_mult_count(axis: AxisId) -> u32 {
     match axis.class() {
         AxisClass::AabbFace => 3,
@@ -117,6 +118,7 @@ impl SatResult {
 /// Robustness: the cross-product radii use `|R| + ε` so nearly-parallel
 /// edges never produce a spurious separating axis (the standard
 /// Gottschalk/Ericson guard), keeping the test conservative.
+#[inline]
 pub fn test_axis<S: Scalar>(obb: &Obb<S>, aabb: &Aabb<S>, id: AxisId) -> bool {
     let t = obb.center - aabb.center;
     let a = obb.half; // OBB half extents (local)
@@ -211,6 +213,36 @@ pub fn sat_batch<S: Scalar>(obb: &Obb<S>, aabb: &Aabb<S>, ids: &[AxisId]) -> Sat
     SatResult {
         separating: first,
         axes_tested: ids.len() as u32,
+        mults,
+    }
+}
+
+/// [`sat_batch`] over the contiguous axis range `start..start + len`
+/// (1-based ids, like [`AxisId`]). Staged execution always uses contiguous
+/// ranges, so the hot path takes this allocation-free form instead of
+/// materializing an id slice per stage.
+///
+/// # Panics
+///
+/// Panics unless the range stays within `1..=15`.
+#[inline]
+pub fn sat_batch_range<S: Scalar>(obb: &Obb<S>, aabb: &Aabb<S>, start: u8, len: u8) -> SatResult {
+    assert!(
+        start >= 1 && len >= 1 && start + len - 1 <= 15,
+        "axis range {start}+{len} out of 1..=15"
+    );
+    let mut first = None;
+    let mut mults = 0;
+    for raw in start..start + len {
+        let id = AxisId(raw);
+        mults += axis_mult_count(id);
+        if first.is_none() && test_axis(obb, aabb, id) {
+            first = Some(id);
+        }
+    }
+    SatResult {
+        separating: first,
+        axes_tested: len as u32,
         mults,
     }
 }

@@ -1,10 +1,20 @@
 //! Octree construction and traversal.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 use mp_geometry::{AabbF, Vec3};
 
 use crate::node::{Node, Occupancy, PackNodeError};
+
+thread_local! {
+    // Reusable depth-first traversal stack. Collision queries run millions
+    // of times per benchmark; taking the buffer out of the cell (and
+    // putting it back after the walk) keeps the hot path allocation-free
+    // while staying safe under reentrancy — a nested query simply finds an
+    // empty cell and allocates its own stack.
+    static TRAVERSAL_STACK: Cell<Vec<(u32, AabbF)>> = const { Cell::new(Vec::new()) };
+}
 
 /// Maximum tree depth the builder accepts (leaf size = extent / 2^depth).
 pub const MAX_SUPPORTED_DEPTH: u32 = 10;
@@ -114,6 +124,7 @@ impl Octree {
     /// # Panics
     ///
     /// Panics if `octant > 7`.
+    #[inline]
     pub fn octant_aabb(parent: &AabbF, octant: usize) -> AabbF {
         assert!(octant < 8, "octant index out of range: {octant}");
         let q = parent.half * 0.5;
@@ -201,8 +212,11 @@ impl Octree {
         overlaps_octant: &mut impl FnMut(&AabbF) -> bool,
     ) -> (bool, TraversalStats) {
         let mut stats = TraversalStats::default();
-        let mut stack = vec![(0u32, self.root)];
-        while let Some((addr, aabb)) = stack.pop() {
+        let mut stack = TRAVERSAL_STACK.with(Cell::take);
+        stack.clear();
+        stack.push((0u32, self.root));
+        let mut hit = false;
+        'walk: while let Some((addr, aabb)) = stack.pop() {
             stats.nodes_visited += 1;
             let node = &self.nodes[addr as usize];
             for octant in 0..8 {
@@ -216,7 +230,10 @@ impl Octree {
                     continue;
                 }
                 match occ {
-                    Occupancy::Full => return (true, stats),
+                    Occupancy::Full => {
+                        hit = true;
+                        break 'walk;
+                    }
                     Occupancy::Partial => {
                         // Builder invariant: `build_in` allocates a child
                         // node for every octant it marks Partial, so the
@@ -230,7 +247,9 @@ impl Octree {
                 }
             }
         }
-        (false, stats)
+        stack.clear();
+        TRAVERSAL_STACK.with(|cell| cell.set(stack));
+        (hit, stats)
     }
 
     /// All fully occupied leaf boxes (useful for tests and visualization).

@@ -23,6 +23,7 @@ pub enum Activation {
 }
 
 impl Activation {
+    #[inline]
     fn apply(self, x: f32) -> f32 {
         match self {
             Activation::Relu => x.max(0.0),
@@ -87,14 +88,25 @@ impl Dense {
     ///
     /// Panics if `x.len() != inputs`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.outputs);
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Forward pass into a caller-provided buffer (cleared first) — the
+    /// allocation-free form [`Mlp::forward_scratch`] builds on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs`.
+    pub fn forward_into(&self, x: &[f32], out: &mut Vec<f32>) {
         assert_eq!(x.len(), self.inputs, "layer input size mismatch");
-        (0..self.outputs)
-            .map(|o| {
-                let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-                let z: f32 = row.iter().zip(x).map(|(w, v)| w * v).sum::<f32>() + self.bias[o];
-                self.activation.apply(z)
-            })
-            .collect()
+        out.clear();
+        out.extend((0..self.outputs).map(|o| {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let z: f32 = row.iter().zip(x).map(|(w, v)| w * v).sum::<f32>() + self.bias[o];
+            self.activation.apply(z)
+        }));
     }
 
     /// Multiply-accumulate operations in one forward pass.
@@ -106,6 +118,18 @@ impl Dense {
     pub fn param_count(&self) -> usize {
         self.weights.len() + self.bias.len()
     }
+}
+
+/// Reusable ping-pong activation buffers for [`Mlp::forward_scratch`].
+///
+/// Planner samplers run one inference per proposed pose — millions per
+/// benchmark — so the per-layer activation vectors are the dominant
+/// allocation of the planning hot path. A scratch held across calls
+/// reduces that to zero after warmup.
+#[derive(Clone, Debug, Default)]
+pub struct MlpScratch {
+    ping: Vec<f32>,
+    pong: Vec<f32>,
 }
 
 /// A multi-layer perceptron.
@@ -158,9 +182,26 @@ impl Mlp {
     ///
     /// Panics if the input size does not match the first layer.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        self.layers
-            .iter()
-            .fold(x.to_vec(), |acc, layer| layer.forward(&acc))
+        self.forward_scratch(x, &mut MlpScratch::default()).to_vec()
+    }
+
+    /// Forward inference through reusable ping-pong buffers: no per-layer
+    /// allocation, and none at all once the scratch has warmed up. The
+    /// returned slice (borrowed from the scratch) is the output activation
+    /// and is valid until the next call with the same scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input size does not match the first layer.
+    pub fn forward_scratch<'a>(&self, x: &[f32], scratch: &'a mut MlpScratch) -> &'a [f32] {
+        let MlpScratch { ping, pong } = scratch;
+        ping.clear();
+        ping.extend_from_slice(x);
+        for layer in &self.layers {
+            layer.forward_into(ping, pong);
+            std::mem::swap(ping, pong);
+        }
+        ping
     }
 
     /// Input dimensionality.
@@ -287,6 +328,19 @@ mod tests {
         assert_eq!(mlp.macs(), (8 * 32 + 32 * 16 + 16 * 4) as u64);
         assert_eq!(mlp.param_count(), 8 * 32 + 32 + 32 * 16 + 16 + 16 * 4 + 4);
         assert_eq!(mlp.forward(&[0.0; 8]).len(), 4);
+    }
+
+    #[test]
+    fn scratch_inference_matches_allocating_forward() {
+        let mlp = Mlp::new(&[6, 24, 12, 3], Activation::Tanh, 21);
+        let mut scratch = MlpScratch::default();
+        // Reuse the same scratch across calls: results must stay identical
+        // to the allocating path.
+        for i in 0..5 {
+            let x: Vec<f32> = (0..6).map(|j| ((i * 6 + j) as f32 * 0.37).sin()).collect();
+            let expect = mlp.forward(&x);
+            assert_eq!(mlp.forward_scratch(&x, &mut scratch), expect.as_slice());
+        }
     }
 
     #[test]

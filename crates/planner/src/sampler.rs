@@ -13,7 +13,7 @@ use mp_robot::{JointConfig, RobotModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::nn::{Activation, Mlp};
+use crate::nn::{Activation, Mlp, MlpScratch};
 
 /// Maximum obstacles the scene encoder supports (the §6 benchmarks use
 /// 5–9).
@@ -129,6 +129,9 @@ pub struct MlpSampler {
     robot: RobotModel,
     mlp: Mlp,
     scene_encoding: Vec<f32>,
+    // Reused across `next_pose` calls so inference is allocation-free.
+    scratch: MlpScratch,
+    input_buf: Vec<f32>,
 }
 
 impl MlpSampler {
@@ -142,6 +145,8 @@ impl MlpSampler {
             robot,
             mlp: Mlp::new(&sizes, Activation::Tanh, seed),
             scene_encoding: encode_scene(scene),
+            scratch: MlpScratch::default(),
+            input_buf: Vec::new(),
         }
     }
 
@@ -197,11 +202,18 @@ impl NeuralSampler for MlpSampler {
         if current.distance(goal) < 1e-4 {
             return goal.clone();
         }
-        let delta = self.mlp.forward(&self.input(current, goal));
+        // Build the input in the reusable buffer and run inference through
+        // the ping-pong scratch: the only allocation left per proposal is
+        // the returned `JointConfig` itself.
+        self.input_buf.clear();
+        self.input_buf.extend_from_slice(&self.scene_encoding);
+        self.input_buf.extend_from_slice(current.as_slice());
+        self.input_buf.extend_from_slice(goal.as_slice());
+        let delta = self.mlp.forward_scratch(&self.input_buf, &mut self.scratch);
         let values: Vec<f32> = current
             .as_slice()
             .iter()
-            .zip(&delta)
+            .zip(delta)
             .map(|(&c, &d)| c + d)
             .collect();
         self.robot.clamp_config(&JointConfig::new(values))

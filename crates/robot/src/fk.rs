@@ -19,11 +19,28 @@ use crate::model::RobotModel;
 ///
 /// Panics if `cfg.dof() != model.dof()`.
 pub fn joint_frames(model: &RobotModel, cfg: &JointConfig, mode: TrigMode) -> Vec<Transform> {
-    assert_eq!(cfg.dof(), model.dof(), "configuration DOF mismatch");
     let mut frames = Vec::with_capacity(model.dof() + 1);
+    joint_frames_into(model, cfg, mode, &mut frames);
+    frames
+}
+
+/// [`joint_frames`] into a reusable buffer (cleared first) — checkers call
+/// FK once per pose query, so reusing the frame buffer keeps the pose hot
+/// path allocation-free.
+///
+/// # Panics
+///
+/// Panics if `cfg.dof() != model.dof()`.
+pub fn joint_frames_into(
+    model: &RobotModel,
+    cfg: &JointConfig,
+    mode: TrigMode,
+    frames: &mut Vec<Transform>,
+) {
+    assert_eq!(cfg.dof(), model.dof(), "configuration DOF mismatch");
+    frames.clear();
     frames.push(Transform::identity());
     frames.extend(chain_transforms(model.dh_params(), cfg.as_slice(), mode));
-    frames
 }
 
 /// The robot's occupied space for a pose: one world-frame OBB per link.
@@ -42,12 +59,33 @@ pub fn joint_frames(model: &RobotModel, cfg: &JointConfig, mode: TrigMode) -> Ve
 /// assert_eq!(obbs.len(), 7);
 /// ```
 pub fn link_obbs(model: &RobotModel, cfg: &JointConfig, mode: TrigMode) -> Vec<Obb<f32>> {
-    let frames = joint_frames(model, cfg, mode);
-    model
-        .links()
-        .iter()
-        .map(|link| Obb::from_transform(&frames[link.frame], link.local_center, link.half))
-        .collect()
+    let mut frames = Vec::with_capacity(model.dof() + 1);
+    let mut out = Vec::with_capacity(model.links().len());
+    link_obbs_into(model, cfg, mode, &mut frames, &mut out);
+    out
+}
+
+/// [`link_obbs`] into reusable buffers (both cleared first): `frames` is
+/// the FK scratch, `out` receives one OBB per link.
+///
+/// # Panics
+///
+/// Panics if `cfg.dof() != model.dof()`.
+pub fn link_obbs_into(
+    model: &RobotModel,
+    cfg: &JointConfig,
+    mode: TrigMode,
+    frames: &mut Vec<Transform>,
+    out: &mut Vec<Obb<f32>>,
+) {
+    joint_frames_into(model, cfg, mode, frames);
+    out.clear();
+    out.extend(
+        model
+            .links()
+            .iter()
+            .map(|link| Obb::from_transform(&frames[link.frame], link.local_center, link.half)),
+    );
 }
 
 /// The fixed-point link OBBs the hardware streams to the OOCDs (17 × 16-bit

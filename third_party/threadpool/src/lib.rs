@@ -1,0 +1,303 @@
+//! Offline vendored scoped work-stealing thread pool.
+//!
+//! The build environment for this repository is hermetic (no crates.io
+//! access), so — following the `rand`/`proptest`/`criterion` pattern — the
+//! workspace vendors its own minimal parallel-execution primitive instead
+//! of depending on `rayon`. The design goals, in order:
+//!
+//! 1. **Determinism**: [`ThreadPool::map`] always returns results in input
+//!    order, and every job receives its input index, so callers can seed
+//!    per-item RNGs from the index. Output is therefore bit-identical to a
+//!    serial run regardless of thread count or scheduling interleavings.
+//! 2. **Scoped borrows**: jobs may borrow from the caller's stack
+//!    (implemented on [`std::thread::scope`]), so workloads and scenes need
+//!    not be `'static` or wrapped in `Arc`.
+//! 3. **Work stealing**: items are dealt round-robin into per-worker
+//!    queues; an idle worker steals from the back of the busiest remaining
+//!    queue, so skewed item costs (one scene planning far longer than the
+//!    rest) do not serialize the batch.
+//!
+//! Thread count comes from [`ThreadPool::from_env`] (the `MPACCEL_THREADS`
+//! environment variable) or an explicit [`ThreadPool::new`]. A pool of one
+//! thread runs jobs inline on the caller's thread — no spawning — which is
+//! also the fallback wherever spawning is impossible.
+//!
+//! This is *not* the crates.io `threadpool` API: that crate hands `'static`
+//! jobs to long-lived workers, which cannot express the scoped borrows the
+//! benchmark engine needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Environment variable controlling the default pool width.
+pub const THREADS_ENV: &str = "MPACCEL_THREADS";
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool itself is trivially cheap (it owns no threads); workers are
+/// spawned per [`ThreadPool::map`] call inside a [`std::thread::scope`], so
+/// jobs may borrow local data.
+///
+/// # Examples
+///
+/// ```
+/// use threadpool::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let squares = pool.map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with exactly `threads` workers (minimum one).
+    pub fn new(threads: usize) -> ThreadPool {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a pool sized from `MPACCEL_THREADS`: a positive integer
+    /// fixes the width; `0`, unset, or unparsable values fall back to the
+    /// machine's available parallelism.
+    pub fn from_env() -> ThreadPool {
+        ThreadPool::new(Self::threads_from_env())
+    }
+
+    /// Resolves the `MPACCEL_THREADS` policy without building a pool.
+    pub fn threads_from_env() -> usize {
+        match std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// The number of worker threads `map` will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning the results in
+    /// input order. `f` receives `(index, &item)` so callers can derive
+    /// per-item seeds from the index.
+    ///
+    /// With one thread (or zero/one items) everything runs inline on the
+    /// calling thread; the parallel path is observationally identical as
+    /// long as `f` is deterministic per item.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by any job.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let workers = self.threads.min(items.len());
+        // Deal item indices round-robin into per-worker queues.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                Mutex::new(
+                    (w..items.len())
+                        .step_by(workers)
+                        .collect::<VecDeque<usize>>(),
+                )
+            })
+            .collect();
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let queues = &queues;
+                let results = &results;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    loop {
+                        // Own queue first (front), then steal from the
+                        // longest other queue (back) to keep stolen work
+                        // coarse.
+                        let next = pop_front(&queues[w]).or_else(|| steal(queues, w));
+                        let Some(i) = next else { break };
+                        let r = f(i, &items[i]);
+                        let mut guard = results.lock().expect("result vector poisoned");
+                        guard[i] = Some(r);
+                    }
+                }));
+            }
+            for h in handles {
+                // Propagate worker panics to the caller (join returns Err
+                // only on panic).
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+
+        results
+            .into_inner()
+            .expect("result vector poisoned")
+            .into_iter()
+            .map(|r| r.expect("every index executed exactly once"))
+            .collect()
+    }
+
+    /// Runs independent closures in parallel, returning their results in
+    /// input order. Convenience wrapper over [`ThreadPool::map`] for
+    /// heterogeneous jobs behind a common signature.
+    pub fn run<R, F>(&self, jobs: Vec<F>) -> Vec<R>
+    where
+        R: Send,
+        F: Fn() -> R + Sync,
+    {
+        self.map(&jobs, |_, job| job())
+    }
+}
+
+impl Default for ThreadPool {
+    /// [`ThreadPool::from_env`].
+    fn default() -> ThreadPool {
+        ThreadPool::from_env()
+    }
+}
+
+fn pop_front(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue.lock().expect("work queue poisoned").pop_front()
+}
+
+/// Steals one item from the back of the longest queue other than `own`.
+fn steal(queues: &[Mutex<VecDeque<usize>>], own: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (len, queue index)
+    for (qi, q) in queues.iter().enumerate() {
+        if qi == own {
+            continue;
+        }
+        let len = q.lock().expect("work queue poisoned").len();
+        if len > best.map_or(0, |(l, _)| l) {
+            best = Some((len, qi));
+        }
+    }
+    let (_, qi) = best?;
+    queues[qi].lock().expect("work queue poisoned").pop_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let caller = std::thread::current().id();
+        let ids = pool.map(&[(), (), ()], |_, ()| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn skewed_loads_are_stolen() {
+        // One expensive item dealt to worker 0; the rest are cheap. With
+        // stealing, total wall time stays near the expensive item's cost.
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..32).collect();
+        let executed = AtomicUsize::new(0);
+        let out = pool.map(&items, |_, &x| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, (1..=32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |i: usize, x: &u64| {
+            // Deterministic per-item pseudo-work seeded by index.
+            let mut acc = *x ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            for _ in 0..100 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let serial = ThreadPool::new(1).map(&items, f);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(ThreadPool::new(threads).map(&items, f), serial);
+        }
+    }
+
+    #[test]
+    fn run_collects_closure_results_in_order() {
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<Box<dyn Fn() -> usize + Sync>> =
+            vec![Box::new(|| 10), Box::new(|| 20), Box::new(|| 30)];
+        assert_eq!(pool.run(jobs), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = ThreadPool::new(8);
+        assert_eq!(pool.map(&[] as &[u8], |_, &x| x), Vec::<u8>::new());
+        assert_eq!(pool.map(&[7u8], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "job failed")]
+    fn worker_panics_propagate() {
+        let pool = ThreadPool::new(2);
+        let _ = pool.map(&[0u8, 1, 2, 3], |_, &x| {
+            if x == 2 {
+                panic!("job failed");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn env_parsing_policies() {
+        // NOTE: mutating the environment is process-global; this is the
+        // only test in the crate that does so.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(ThreadPool::threads_from_env(), 3);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(ThreadPool::threads_from_env() >= 1);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(ThreadPool::threads_from_env() >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(ThreadPool::threads_from_env() >= 1);
+    }
+}
