@@ -1,0 +1,62 @@
+//! Runs the chaos/soak campaign for the planning service (robustness
+//! study). Usage:
+//!
+//! ```text
+//! cargo run -p mp-bench --release --bin soak [-- --out FILE] [--csv FILE]
+//! ```
+//!
+//! Prints the report to stdout; `--out` additionally writes the text
+//! report and `--csv` the CSV table. Set `MPACCEL_BENCH_SCALE=full` for
+//! paper-scale workloads and `MPACCEL_THREADS` for the catalog-build pool
+//! width (the report is byte-identical at any width).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("soak: --out requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--csv" => match args.next() {
+                Some(path) => csv = Some(path),
+                None => {
+                    eprintln!("soak: --csv requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: soak [--out FILE] [--csv FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("soak: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let scale = mp_bench::Scale::from_env();
+    let report = mp_bench::experiments::soak::run(scale);
+    println!("{report}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_string()) {
+            eprintln!("soak: cannot write report to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = csv {
+        if let Err(e) = std::fs::write(&path, report.to_csv()) {
+            eprintln!("soak: cannot write CSV to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -8,15 +8,25 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
 use mp_bench::workloads::{BenchWorkload, Scale};
 use mp_robot::RobotModel;
 use mpaccel_core::mpaccel::{MpAccelSystem, SystemConfig};
 use mpaccel_core::trace::PlannerTrace;
 
-fn main() {
-    let out_dir = std::env::args()
-        .nth(1)
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: traces [out-dir]   (default: target/mpnet_traces)");
+        return ExitCode::SUCCESS;
+    }
+    if args.len() > 1 {
+        eprintln!("traces: expected at most one argument (the output directory), got {args:?}");
+        return ExitCode::from(2);
+    }
+    let out_dir = args
+        .first()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/mpnet_traces"));
     let scale = Scale::from_env();
@@ -25,13 +35,22 @@ fn main() {
     // 1. Generate (or reuse) the planner workload.
     println!("generating MPNet traces at {scale:?} scale…");
     let w = BenchWorkload::cached(robot.clone(), scale);
-    fs::create_dir_all(&out_dir).expect("create trace directory");
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!(
+            "traces: cannot create trace directory `{}`: {e}",
+            out_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
 
     // 2. Store every trace in the text format.
     let mut paths = Vec::new();
     for (i, (scene, trace)) in w.traces.iter().enumerate() {
         let path = out_dir.join(format!("bench{scene}_query{i}.trace"));
-        fs::write(&path, trace.to_text()).expect("write trace");
+        if let Err(e) = fs::write(&path, trace.to_text()) {
+            eprintln!("traces: cannot write `{}`: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
         paths.push((path, *scene));
     }
     println!("wrote {} traces to {}", paths.len(), out_dir.display());
@@ -41,8 +60,20 @@ fn main() {
     let mut total_ms = 0.0;
     let mut mismatches = 0;
     for ((path, scene), (_, original)) in paths.iter().zip(&w.traces) {
-        let text = fs::read_to_string(path).expect("read trace");
-        let loaded = PlannerTrace::from_text(&text).expect("parse trace");
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("traces: cannot read back `{}`: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let loaded = match PlannerTrace::from_text(&text) {
+            Ok(trace) => trace,
+            Err(e) => {
+                eprintln!("traces: cannot parse `{}`: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
         let sys = MpAccelSystem::new(
             robot.clone(),
             w.octree(*scene),
@@ -61,5 +92,9 @@ fn main() {
         total_ms,
         mismatches
     );
-    assert_eq!(mismatches, 0, "serialized traces must replay identically");
+    if mismatches != 0 {
+        eprintln!("traces: serialized traces must replay identically ({mismatches} mismatches)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

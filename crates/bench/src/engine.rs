@@ -59,6 +59,7 @@ pub fn experiments() -> Vec<Experiment> {
         exp!(ablation),
         exp!(planners),
         exp!(faults),
+        exp!(soak),
     ]
 }
 
@@ -281,11 +282,11 @@ mod tests {
     #[test]
     fn suite_is_complete_and_uniquely_named() {
         let all = experiments();
-        assert_eq!(all.len(), 16);
+        assert_eq!(all.len(), 17);
         let mut names: Vec<&str> = all.iter().map(|x| x.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 16, "duplicate experiment names");
+        assert_eq!(names.len(), 17, "duplicate experiment names");
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod planners;
+pub mod soak;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -4,15 +4,17 @@
 //!
 //! A representative subset keeps the test fast in debug builds while still
 //! crossing every source of shared state: the workload cache (all), the
-//! replay memo (fig01b, fig16), the process-wide fault plan (faults), and
-//! per-experiment RNG seeding (fig17, planners).
+//! replay memo (fig01b, fig16), the process-wide fault plan (faults),
+//! per-experiment RNG seeding (fig17, planners), and the service soak
+//! campaign's catalog cache (soak).
 
 use mp_bench::engine::{run_selected, select};
+use mp_bench::experiments::soak;
 use mp_bench::Scale;
 use threadpool::ThreadPool;
 
 /// Experiments covering the engine's shared-state surfaces.
-const SUBSET: [&str; 5] = ["fig01b", "fig16", "fig17", "planners", "faults"];
+const SUBSET: [&str; 6] = ["fig01b", "fig16", "fig17", "planners", "faults", "soak"];
 
 fn rendered(threads: usize) -> Vec<(String, String)> {
     let pool = ThreadPool::new(threads);
@@ -42,4 +44,14 @@ fn repeated_runs_are_stable() {
     let a = rendered(2);
     let b = rendered(2);
     assert_eq!(a, b, "reports must be stable across runs in one process");
+}
+
+#[test]
+fn soak_report_is_byte_identical_at_one_and_eight_threads() {
+    // The service satellite contract: same seeds and policies must yield a
+    // byte-identical soak report whatever the pool width. Goes through the
+    // uncached catalog path so both widths really build their own catalog.
+    let one = soak::run_with_pool(Scale::Quick, &ThreadPool::new(1)).to_string();
+    let eight = soak::run_with_pool(Scale::Quick, &ThreadPool::new(8)).to_string();
+    assert_eq!(one, eight, "soak report differs between 1 and 8 threads");
 }

@@ -18,7 +18,10 @@
 //!   bus, SAS, CECDU array) replaying planner [`trace`]s;
 //! * [`fault`] — fault injection across the stack (SRAM upsets, stuck/slow
 //!   units, dropped/corrupted results, saturation) with detection,
-//!   bounded re-dispatch, quarantine, and a conservative oracle voter.
+//!   bounded re-dispatch, quarantine, and a conservative oracle voter;
+//! * [`pool`] — per-instance busy/quarantine bookkeeping for a *pool* of
+//!   MPAccel instances serving a multi-tenant planning service
+//!   (`mp-service`).
 //!
 //! All models are validated against the software oracle in `mp-collision`.
 
@@ -30,6 +33,7 @@ pub mod fault;
 pub mod intersection_unit;
 pub mod mpaccel;
 pub mod oocd;
+pub mod pool;
 pub mod sas;
 pub mod sram;
 pub mod trace;
@@ -38,6 +42,7 @@ pub use cecdu::{CecduChecker, CecduResult, CecduSim};
 pub use fault::{run_sas_with_faults, FaultTolerantCduArray, RecoveryMode, RecoveryPolicy};
 pub use mpaccel::{MpAccelSystem, RunReport, SystemConfig};
 pub use oocd::{run_oocd, OocdConfig, OocdResult};
+pub use pool::{AcceleratorPool, InstanceStats};
 pub use sas::{run_sas, FunctionMode, IntraPolicy, SasConfig, SasRunResult};
 pub use sram::{sram_budget, SramBudget};
 pub use trace::{PlannerTrace, TraceEvent};

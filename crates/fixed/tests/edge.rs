@@ -1,0 +1,88 @@
+//! Edge-of-range behavior of the Q3.12 type: every operation at the
+//! `i16::MIN`/`i16::MAX` boundary must *saturate* — never wrap, never
+//! panic — because the hardware datapath it models clamps at the rails.
+
+use mp_fixed::{Fx, RESOLUTION};
+
+#[test]
+fn addition_saturates_at_both_rails() {
+    assert_eq!(Fx::MAX + Fx::MAX, Fx::MAX);
+    assert_eq!(Fx::MAX + Fx::EPSILON, Fx::MAX);
+    assert_eq!(Fx::MIN + Fx::MIN, Fx::MIN);
+    assert_eq!(Fx::MIN - Fx::EPSILON, Fx::MIN);
+    assert_eq!(Fx::MIN - Fx::MAX, Fx::MIN);
+    assert_eq!(Fx::MAX - Fx::MIN, Fx::MAX);
+    // Saturation is one-sided: stepping back off the rail works.
+    assert_eq!((Fx::MAX - Fx::EPSILON) + Fx::EPSILON, Fx::MAX);
+    assert_eq!(Fx::MAX + Fx::MIN, Fx::from_bits(-1));
+}
+
+#[test]
+fn multiplication_saturates_at_both_rails() {
+    // |MIN * MIN| ≈ 64 is far above the +8 rail.
+    assert_eq!(Fx::MIN * Fx::MIN, Fx::MAX);
+    assert_eq!(Fx::MAX * Fx::MAX, Fx::MAX);
+    assert_eq!(Fx::MIN * Fx::MAX, Fx::MIN);
+    assert_eq!(Fx::MAX * Fx::MIN, Fx::MIN);
+    assert_eq!(Fx::MIN.square(), Fx::MAX, "square is never negative");
+    // Multiplying by one leaves the rails in place.
+    assert_eq!(Fx::MAX * Fx::ONE, Fx::MAX);
+    assert_eq!(Fx::MIN * Fx::ONE, Fx::MIN);
+}
+
+#[test]
+fn negation_of_min_clamps_instead_of_wrapping() {
+    // Two's complement has no +32768: -MIN must clamp to MAX, not wrap
+    // back to MIN (i16::wrapping_neg would).
+    assert_eq!(-Fx::MIN, Fx::MAX);
+    assert_eq!(Fx::MIN.abs(), Fx::MAX);
+    assert_eq!(-Fx::MAX, Fx::from_bits(-i16::MAX));
+    assert_eq!(-(-Fx::MAX), Fx::MAX);
+}
+
+#[test]
+fn round_trip_just_outside_the_range_saturates() {
+    // MAX represents 32767/4096 ≈ 7.99976; one LSB above it is out of
+    // range and must clamp to MAX on conversion.
+    let max_f = Fx::MAX.to_f32();
+    assert_eq!(Fx::from_f32(max_f + RESOLUTION), Fx::MAX);
+    assert_eq!(Fx::from_f32(8.0), Fx::MAX);
+    assert_eq!(Fx::from_f32(7.9999), Fx::MAX);
+    // MIN represents exactly -8; anything below clamps to MIN.
+    let min_f = Fx::MIN.to_f32();
+    assert_eq!(min_f, -8.0);
+    assert_eq!(Fx::from_f32(min_f - RESOLUTION), Fx::MIN);
+    assert_eq!(Fx::from_f32(-8.0002), Fx::MIN);
+    // And the clamped values round-trip exactly thereafter.
+    assert_eq!(Fx::from_f32(Fx::MAX.to_f32()), Fx::MAX);
+    assert_eq!(Fx::from_f32(Fx::MIN.to_f32()), Fx::MIN);
+    // f64 conversions saturate identically.
+    assert_eq!(Fx::from_f64(1e9), Fx::MAX);
+    assert_eq!(Fx::from_f64(-1e9), Fx::MIN);
+}
+
+#[test]
+fn rounding_near_the_rail_does_not_overflow() {
+    // from_f32 rounds to nearest; a value that rounds *to* the rail must
+    // land on it, not overflow past it.
+    assert_eq!(Fx::from_f32(Fx::MAX.to_f32() + 0.4 * RESOLUTION), Fx::MAX);
+    assert_eq!(Fx::from_f32(Fx::MIN.to_f32() - 0.4 * RESOLUTION), Fx::MIN);
+}
+
+#[test]
+fn integer_conversion_saturates_outside_the_q3_range() {
+    assert_eq!(Fx::from(7i8).to_f32(), 7.0);
+    assert_eq!(Fx::from(-8i8).to_f32(), -8.0);
+    // +8 is not representable (MAX is one LSB short of it).
+    assert_eq!(Fx::from(8i8), Fx::MAX);
+    assert_eq!(Fx::from(127i8), Fx::MAX);
+    assert_eq!(Fx::from(-9i8), Fx::MIN);
+    assert_eq!(Fx::from(-128i8), Fx::MIN);
+}
+
+#[test]
+fn saturating_helpers_agree_with_operators_at_the_rails() {
+    assert_eq!(Fx::MAX.saturating_add(Fx::MAX), Fx::MAX + Fx::MAX);
+    assert_eq!(Fx::MIN.saturating_sub(Fx::MAX), Fx::MIN - Fx::MAX);
+    assert_eq!(Fx::MIN.saturating_mul(Fx::MIN), Fx::MIN * Fx::MIN);
+}

@@ -253,6 +253,83 @@ pub fn overlaps<S: Scalar>(obb: &Obb<S>, aabb: &Aabb<S>) -> bool {
     sat_first_separating(obb, aabb).colliding()
 }
 
+/// Signed separation gap along one SAT axis of the exact `f32` pair:
+/// positive means the axis separates the boxes by that (projection-scaled)
+/// amount, negative means their projections overlap on it.
+/// [`test_axis`] is exactly `axis_signed_gap(..) > 0` for `f32`.
+pub fn axis_signed_gap(obb: &Obb<f32>, aabb: &Aabb<f32>, id: AxisId) -> f32 {
+    let t = obb.center - aabb.center;
+    let a = obb.half;
+    let b = aabb.half;
+    let r = &obb.rotation;
+    let eps = <f32 as Scalar>::epsilon();
+    match id.0 {
+        i @ 1..=3 => {
+            let i = (i - 1) as usize;
+            let ra = b[i];
+            let rb = a.x * r.at(i, 0).abs() + a.y * r.at(i, 1).abs() + a.z * r.at(i, 2).abs();
+            t[i].abs() - (ra + rb)
+        }
+        j @ 4..=6 => {
+            let j = (j - 4) as usize;
+            let dist = (t.x * r.at(0, j) + t.y * r.at(1, j) + t.z * r.at(2, j)).abs();
+            let ra = b.x * r.at(0, j).abs() + b.y * r.at(1, j).abs() + b.z * r.at(2, j).abs();
+            let rb = a[j];
+            dist - (ra + rb)
+        }
+        k => {
+            let k = (k - 7) as usize;
+            let i = k / 3;
+            let j = k % 3;
+            let i1 = (i + 1) % 3;
+            let i2 = (i + 2) % 3;
+            let j1 = (j + 1) % 3;
+            let j2 = (j + 2) % 3;
+            let ra = b[i1] * (r.at(i2, j).abs() + eps) + b[i2] * (r.at(i1, j).abs() + eps);
+            let rb = a[j1] * (r.at(i, j2).abs() + eps) + a[j2] * (r.at(i, j1).abs() + eps);
+            let dist = (t[i2] * r.at(i1, j) - t[i1] * r.at(i2, j)).abs();
+            dist - (ra + rb)
+        }
+    }
+}
+
+/// The pair's margin to the separated/colliding threshold: the largest
+/// [`axis_signed_gap`] over all 15 axes. Positive iff the exact `f32` SAT
+/// reports separation; its magnitude says how far the pair is from the
+/// verdict flipping.
+pub fn signed_separation(obb: &Obb<f32>, aabb: &Aabb<f32>) -> f32 {
+    AxisId::all()
+        .map(|id| axis_signed_gap(obb, aabb, id))
+        .fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Worst-case amount (in [`axis_signed_gap`] units) by which Q3.12
+/// quantization plus fixed-point SAT arithmetic can move any axis gap —
+/// the envelope inside which the fixed-point and `f32` verdicts may
+/// legitimately disagree.
+///
+/// Per-axis error budget, with `ε =` [`RESOLUTION`](mp_fixed::RESOLUTION)
+/// `= 2⁻¹²` (see `Obb::quantize` / `Aabb::quantize`):
+///
+/// * centers round to nearest (≤ ε/2 per component) and enter `t` twice,
+///   and `t` projects through quantized rotation entries (≤ ε/2 each), so
+///   the distance term moves by `O(ε·(1 + ‖t‖₁))`;
+/// * half extents round *up* by < ε per component and multiply rotation
+///   entries, moving the radii by `O(ε·(1 + ‖a‖₁ + ‖b‖₁))`;
+/// * the cross-axis robustness guard uses `ε` in fixed point but `10⁻⁶`
+///   in `f32`, adding up to `ε·(‖a‖₁ + ‖b‖₁)`;
+/// * every fixed-point multiply rounds to nearest (≤ ε/2), ≤ 6 per axis.
+///
+/// The constants below over-approximate all four contributions; the
+/// differential property test in `tests/props.rs` validates the envelope
+/// empirically and that disagreements are collision-biased (deep
+/// collisions are never reported free by fixed point).
+pub fn quantization_margin(obb: &Obb<f32>, aabb: &Aabb<f32>) -> f32 {
+    let t = obb.center - aabb.center;
+    let l1 = |v: crate::Vector3<f32>| v.x.abs() + v.y.abs() + v.z.abs();
+    mp_fixed::RESOLUTION * (16.0 + 2.0 * (l1(obb.half) + l1(aabb.half) + l1(t)))
+}
+
 /// General OBB–OBB separating-axis test (Gottschalk's 15 axes), `f32`.
 ///
 /// This is not part of the accelerator datapath (the environment side is

@@ -1,7 +1,9 @@
 //! Property-based tests for the intersection kernels.
 
 use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig, StageSplit};
-use mp_geometry::sat::{overlaps, sat_all, sat_first_separating};
+use mp_geometry::sat::{
+    overlaps, quantization_margin, sat_all, sat_first_separating, signed_separation,
+};
 use mp_geometry::{Aabb, AabbF, Mat3, Obb, Sphere, Vec3};
 use proptest::prelude::*;
 
@@ -130,6 +132,57 @@ proptest! {
             let cfg = CascadeConfig { split: StageSplit::new(split), ..CascadeConfig::proposed() };
             prop_assert_eq!(cascaded_obb_aabb(&obb, &aabb, &cfg).colliding, base);
         }
+    }
+
+    /// Differential Q3.12-vs-f32 verdicts: the fixed-point SAT may only
+    /// disagree with the exact f32 SAT when the pair sits within the
+    /// documented quantization margin of the separated/colliding
+    /// threshold, and any disagreement must be collision-biased — a pair
+    /// separated (resp. colliding) by more than the margin classifies
+    /// identically in both arithmetics.
+    #[test]
+    fn fx_and_f32_sat_disagree_only_inside_the_margin(obb in any_obb(), aabb in any_aabb()) {
+        let f32_hit = overlaps(&obb, &aabb);
+        let fx_hit = overlaps(&obb.quantize(), &aabb.quantize());
+        if f32_hit != fx_hit {
+            let sep = signed_separation(&obb, &aabb);
+            let margin = quantization_margin(&obb, &aabb);
+            prop_assert!(
+                sep.abs() <= margin,
+                "verdicts disagree (f32 {} vs fx {}) outside the margin: |{}| > {}",
+                f32_hit, fx_hit, sep, margin
+            );
+        }
+    }
+
+    /// Conservatism, stated directly: a collision deeper than the margin
+    /// is never reported free by fixed point (the safety direction — a
+    /// false "free" verdict would let a planner drive through an
+    /// obstacle).
+    #[test]
+    fn fx_never_frees_a_deep_collision(obb in any_obb(), aabb in any_aabb()) {
+        let sep = signed_separation(&obb, &aabb);
+        if sep < -quantization_margin(&obb, &aabb) {
+            prop_assert!(overlaps(&obb.quantize(), &aabb.quantize()),
+                "fx freed a collision with separation {sep}");
+        }
+    }
+
+    /// The fixed-point cascade classifies exactly like the fixed-point
+    /// SAT — the early-exit flow is arithmetic-agnostic.
+    #[test]
+    fn fx_cascade_equals_fx_sat(obb in any_obb(), aabb in any_aabb()) {
+        let (qo, qa) = (obb.quantize(), aabb.quantize());
+        let want = sat_first_separating(&qo, &qa).colliding();
+        let got = cascaded_obb_aabb(&qo, &qa, &CascadeConfig::proposed()).colliding;
+        prop_assert_eq!(got, want);
+    }
+
+    /// The signed separation agrees in sign with the SAT verdict.
+    #[test]
+    fn signed_separation_matches_the_verdict(obb in any_obb(), aabb in any_aabb()) {
+        let sep = signed_separation(&obb, &aabb);
+        prop_assert_eq!(sep > 0.0, !overlaps(&obb, &aabb));
     }
 
     /// Cascade multiplication accounting is bounded by filters + full SAT.

@@ -14,7 +14,10 @@
 //!   models,
 //! * [`rrt`](mod@rrt) — classical RRT / RRT-Connect baselines,
 //! * [`queries`] — benchmark query generation (§6: 100 start/goal pairs
-//!   per scene).
+//!   per scene),
+//! * [`tiers`] — the graceful-degradation ladder (full MPNet → reduced
+//!   MPNet → budgeted RRT-Connect → coarse-octree RRT) the planning
+//!   service steps overloaded requests down.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod nn;
 pub mod queries;
 pub mod rrt;
 pub mod sampler;
+pub mod tiers;
 
 pub use mpnet::{
     plan, plan_with_fallback, BudgetResource, FallbackPlanOutcome, MpnetConfig, PlanBudget,
@@ -31,3 +35,4 @@ pub use mpnet::{
 };
 pub use rrt::{rrt, rrt_connect, RrtConfig, RrtOutcome};
 pub use sampler::{encode_scene, MlpSampler, NeuralSampler, OracleSampler};
+pub use tiers::{plan_at_tier, QualityTier, TierOutcome};

@@ -1,0 +1,208 @@
+//! The plan catalog: every (scene, query, tier) combination planned once.
+//!
+//! The service simulates *thousands* of requests against a handful of
+//! distinct planning problems. Planning each (scene, query) at each
+//! quality tier once — up front, in parallel, with seeds derived from the
+//! (scene, query, tier) coordinates alone — gives the event loop exact
+//! deterministic service times and solve outcomes as O(1) lookups, the
+//! same trick the benchmark engine uses for its trace corpus. An arriving
+//! request references a catalog key; dispatching it at tier T costs the
+//! modeled time recorded here.
+
+use mp_collision::SoftwareChecker;
+use mp_octree::{Octree, Scene};
+use mp_planner::queries::generate_queries;
+use mp_planner::sampler::OracleSampler;
+use mp_planner::{plan_at_tier, QualityTier};
+use mp_robot::RobotModel;
+use threadpool::ThreadPool;
+
+/// The planned outcome of one (scene, query, tier) combination.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CatalogEntry {
+    /// Whether the tier produced a collision-free path.
+    pub solved: bool,
+    /// Modeled accelerator time for the attempt (µs).
+    pub modeled_us: f64,
+    /// CD pose queries spent.
+    pub cd_queries: u64,
+    /// Neural inferences spent.
+    pub nn_calls: u64,
+}
+
+/// A precomputed catalog of planning outcomes, indexed by
+/// `(key, tier)` where `key` enumerates (scene, query) pairs.
+#[derive(Clone, Debug)]
+pub struct PlanCatalog {
+    entries: Vec<[CatalogEntry; QualityTier::COUNT]>,
+    mean_us: [f64; QualityTier::COUNT],
+}
+
+impl PlanCatalog {
+    /// Plans every (scene, query, tier) combination and builds the
+    /// catalog. Scenes fan out over `pool` (results are collected in
+    /// scene order, so the catalog is identical for any thread count);
+    /// all randomness derives from `(seed, scene, query, tier)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a scene cannot yield valid queries.
+    pub fn build(
+        robot: &RobotModel,
+        scenes: &[Scene],
+        queries_per_scene: usize,
+        seed: u64,
+        pool: &ThreadPool,
+    ) -> Result<PlanCatalog, String> {
+        let per_scene: Vec<Result<Vec<[CatalogEntry; QualityTier::COUNT]>, String>> =
+            pool.map(scenes, |si, scene| {
+                let queries = generate_queries(
+                    robot,
+                    scene,
+                    queries_per_scene,
+                    seed.wrapping_mul(0x9E37_79B9).wrapping_add(si as u64),
+                )
+                .map_err(|e| format!("scene {si}: {e}"))?;
+                // One octree per depth the ladder uses, shared across the
+                // scene's queries.
+                let depths: Vec<Octree> = QualityTier::LADDER
+                    .iter()
+                    .map(|t| Octree::build(scene.obstacles(), t.octree_depth()))
+                    .collect();
+                Ok(queries
+                    .iter()
+                    .enumerate()
+                    .map(|(qi, q)| {
+                        let mut row = [CatalogEntry {
+                            solved: false,
+                            modeled_us: 0.0,
+                            cd_queries: 0,
+                            nn_calls: 0,
+                        }; QualityTier::COUNT];
+                        for tier in QualityTier::LADDER {
+                            let tseed = seed
+                                .wrapping_mul(0x85EB_CA6B)
+                                .wrapping_add((si * 10_000 + qi * 10 + tier.index()) as u64);
+                            let mut checker =
+                                SoftwareChecker::new(robot.clone(), depths[tier.index()].clone());
+                            let mut sampler = OracleSampler::new(robot.clone(), tseed);
+                            let out = plan_at_tier(
+                                &mut checker,
+                                &mut sampler,
+                                &q.start,
+                                &q.goal,
+                                tier,
+                                tseed,
+                            );
+                            row[tier.index()] = CatalogEntry {
+                                solved: out.solved,
+                                modeled_us: out.modeled_us,
+                                cd_queries: out.cd_queries,
+                                nn_calls: out.nn_calls,
+                            };
+                        }
+                        row
+                    })
+                    .collect())
+            });
+        let mut entries = Vec::new();
+        for scene_rows in per_scene {
+            entries.extend(scene_rows?);
+        }
+        if entries.is_empty() {
+            return Err("catalog has no (scene, query) entries".to_string());
+        }
+        let mut mean_us = [0.0f64; QualityTier::COUNT];
+        for row in &entries {
+            for (acc, e) in mean_us.iter_mut().zip(row.iter()) {
+                *acc += e.modeled_us;
+            }
+        }
+        for m in &mut mean_us {
+            *m /= entries.len() as f64;
+        }
+        Ok(PlanCatalog { entries, mean_us })
+    }
+
+    /// Number of distinct (scene, query) keys.
+    pub fn num_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The planned outcome for a key at a tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn entry(&self, key: usize, tier: QualityTier) -> &CatalogEntry {
+        &self.entries[key][tier.index()]
+    }
+
+    /// Mean modeled service time at a tier (µs) — the capacity planning
+    /// figure: one instance saturates at `1e6 / mean_service_us(Full)`
+    /// requests per second of full-quality traffic.
+    pub fn mean_service_us(&self, tier: QualityTier) -> f64 {
+        self.mean_us[tier.index()]
+    }
+
+    /// Offered rate (requests/s) that saturates a pool of `instances`
+    /// serving everything at full quality.
+    pub fn saturating_rate_per_s(&self, instances: usize) -> f64 {
+        instances as f64 * 1e6 / self.mean_service_us(QualityTier::Full).max(1e-9)
+    }
+
+    /// Fraction of keys the tier solves.
+    pub fn solve_rate(&self, tier: QualityTier) -> f64 {
+        let solved = self
+            .entries
+            .iter()
+            .filter(|row| row[tier.index()].solved)
+            .count();
+        solved as f64 / self.num_keys() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_octree::benchmark_scenes;
+
+    fn small_catalog(threads: usize) -> PlanCatalog {
+        let scenes: Vec<Scene> = benchmark_scenes().into_iter().take(2).collect();
+        PlanCatalog::build(
+            &RobotModel::jaco2(),
+            &scenes,
+            2,
+            7,
+            &ThreadPool::new(threads),
+        )
+        .expect("catalog builds")
+    }
+
+    #[test]
+    fn catalog_is_thread_count_invariant() {
+        let a = small_catalog(1);
+        let b = small_catalog(4);
+        assert_eq!(a.num_keys(), b.num_keys());
+        for key in 0..a.num_keys() {
+            for tier in QualityTier::LADDER {
+                assert_eq!(a.entry(key, tier), b.entry(key, tier), "key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_has_sane_costs_and_capacity() {
+        let c = small_catalog(2);
+        assert_eq!(c.num_keys(), 4);
+        for tier in QualityTier::LADDER {
+            assert!(c.mean_service_us(tier) > 0.0);
+        }
+        // Degraded tiers must be cheaper on average than full quality —
+        // the premise of the whole degradation ladder.
+        assert!(c.mean_service_us(QualityTier::Coarse) < c.mean_service_us(QualityTier::Full));
+        assert!(c.saturating_rate_per_s(4) > 0.0);
+        // Full quality solves most benchmark queries.
+        assert!(c.solve_rate(QualityTier::Full) >= 0.5);
+    }
+}

@@ -1,0 +1,52 @@
+//! A deterministic, simulated-time, multi-tenant planning **service** over
+//! a pool of simulated MPAccel instances.
+//!
+//! The paper's premise is *realtime* motion planning: a plan must land
+//! within a hard latency envelope. One resilient query (PR 1) is not a
+//! realtime system — the overload regime, where many queries contend for
+//! a pool of accelerators under deadline pressure, is where realtime
+//! systems actually fail. This crate models that regime end to end:
+//!
+//! ```text
+//!  tenants ──► admission ──► bounded queue ──► dispatcher ──► pool of N
+//!  (arrival     control        (FIFO/EDF)        │             instances
+//!   streams)    (shed on       deadline-aware    │ per-request  │
+//!               overflow)                        ▼ tier choice  ▼
+//!                                        degradation ladder   faults →
+//!                                        (full → reduced →    retry/backoff,
+//!                                         RRT → coarse RRT)   circuit breaker
+//! ```
+//!
+//! * [`catalog`] — every (scene, query, tier) planned once, up front, so
+//!   the event loop knows exact deterministic service times;
+//! * [`request`] — tenants, deadlines, and per-request verdicts;
+//! * [`queue`] — bounded FIFO/EDF queues with deterministic tie-breaks;
+//! * [`degrade`] — the load-level controller choosing quality tiers;
+//! * [`breaker`] — per-instance circuit breaking (strikes → quarantine);
+//! * [`service`] — the discrete-event loop tying it all together;
+//! * [`metrics`] — goodput, miss rate, exact p50/p99/p999, tier mix.
+//!
+//! Every run is a pure function of its configuration: seeded arrival
+//! streams (`mp_sim::arrival`), seeded per-instance fault injectors
+//! (`mp_sim::fault`), and integer-nanosecond virtual time
+//! (`mp_sim::vtime`) make campaigns byte-identical on any machine and at
+//! any `MPACCEL_THREADS` setting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod catalog;
+pub mod degrade;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod service;
+
+pub use breaker::BreakerConfig;
+pub use catalog::{CatalogEntry, PlanCatalog};
+pub use degrade::DegradeConfig;
+pub use metrics::ServiceSummary;
+pub use queue::{QueuePolicy, RequestQueue};
+pub use request::{Request, ShedReason, TenantSpec, Verdict};
+pub use service::{run_service, FaultProfile, RetryConfig, ServiceConfig};

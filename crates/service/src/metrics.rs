@@ -1,0 +1,176 @@
+//! Service-level metrics: goodput, deadline-miss rate, exact latency
+//! percentiles, tier mix, and the resilience counters.
+
+use mp_planner::QualityTier;
+use mp_sim::fault::ResilienceCounters;
+use mp_sim::vtime::VirtualNs;
+
+/// The aggregate outcome of one service run.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceSummary {
+    /// Length of the arrival window (virtual ns). Completions may land
+    /// after it (the run drains), but rates are per arrival-window second.
+    pub duration_ns: VirtualNs,
+    /// Instances in the pool.
+    pub instances: usize,
+    /// Requests offered by all tenants.
+    pub offered: u64,
+    /// Served with a plan before the deadline (the goodput numerator).
+    pub on_time: u64,
+    /// Served with a plan after the deadline.
+    pub late: u64,
+    /// Shed on arrival: bounded queue full.
+    pub shed_queue_full: u64,
+    /// Shed at dispatch: no tier could meet the deadline.
+    pub shed_hopeless: u64,
+    /// Abandoned after the fault-retry budget ran out.
+    pub failed_faults: u64,
+    /// Every allowed tier exhausted its budget without a path.
+    pub unsolved: u64,
+    /// Fault-triggered re-dispatches (retry-with-backoff).
+    pub retries: u64,
+    /// Ladder step-downs after a tier ran to budget exhaustion.
+    pub tier_stepdowns: u64,
+    /// Circuit-breaker quarantine episodes.
+    pub quarantines: u64,
+    /// Completions (on-time + late) by serving tier.
+    pub tier_served: [u64; QualityTier::COUNT],
+    /// Total busy time across the pool (ns).
+    pub busy_ns: u64,
+    /// Merged fault-injection / recovery counters.
+    pub resilience: ResilienceCounters,
+    /// Sorted arrival-to-completion latencies of served requests (ns).
+    latencies_ns: Vec<VirtualNs>,
+}
+
+impl ServiceSummary {
+    /// An empty summary for a run of the given shape.
+    pub fn for_run(duration_ns: VirtualNs, instances: usize, offered: u64) -> ServiceSummary {
+        ServiceSummary {
+            duration_ns,
+            instances,
+            offered,
+            ..ServiceSummary::default()
+        }
+    }
+
+    /// Stores and sorts the served-request latencies.
+    pub fn set_latencies(&mut self, mut latencies_ns: Vec<VirtualNs>) {
+        latencies_ns.sort_unstable();
+        self.latencies_ns = latencies_ns;
+    }
+
+    /// Requests served with a plan (on time or late).
+    pub fn completed(&self) -> u64 {
+        self.on_time + self.late
+    }
+
+    /// On-time completions per arrival-window second.
+    pub fn goodput_rps(&self) -> f64 {
+        self.on_time as f64 / (self.duration_ns as f64 * 1e-9).max(1e-12)
+    }
+
+    /// Fraction of offered requests that did not complete on time (late,
+    /// shed, failed, or unsolved).
+    pub fn miss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        1.0 - self.on_time as f64 / self.offered as f64
+    }
+
+    /// Exact nearest-rank percentile of served latency, in µs (`q` in
+    /// `0..=1`). `None` when nothing was served.
+    pub fn latency_percentile_us(&self, q: f64) -> Option<f64> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let n = self.latencies_ns.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.latencies_ns[rank - 1] as f64 / 1_000.0)
+    }
+
+    /// Median served latency (µs); 0 when nothing was served.
+    pub fn p50_us(&self) -> f64 {
+        self.latency_percentile_us(0.50).unwrap_or(0.0)
+    }
+
+    /// 99th-percentile served latency (µs); 0 when nothing was served.
+    pub fn p99_us(&self) -> f64 {
+        self.latency_percentile_us(0.99).unwrap_or(0.0)
+    }
+
+    /// 99.9th-percentile served latency (µs); 0 when nothing was served.
+    pub fn p999_us(&self) -> f64 {
+        self.latency_percentile_us(0.999).unwrap_or(0.0)
+    }
+
+    /// Pool utilization over the arrival window (busy time / capacity;
+    /// can exceed 1 when the run drains a backlog past the window).
+    pub fn utilization(&self) -> f64 {
+        self.busy_ns as f64 / (self.duration_ns as f64 * self.instances.max(1) as f64).max(1.0)
+    }
+
+    /// Compact `full/reduced/fallback/coarse` tier-mix cell.
+    pub fn tier_mix(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.tier_served[0], self.tier_served[1], self.tier_served[2], self.tier_served[3]
+        )
+    }
+
+    /// Total shed requests.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_hopeless
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut s = ServiceSummary {
+            duration_ns: 1_000_000_000,
+            offered: 100,
+            on_time: 4,
+            ..ServiceSummary::default()
+        };
+        s.set_latencies(vec![4_000, 1_000, 3_000, 2_000]);
+        assert_eq!(s.latency_percentile_us(0.50), Some(2.0));
+        assert_eq!(s.latency_percentile_us(0.99), Some(4.0));
+        assert_eq!(s.latency_percentile_us(0.001), Some(1.0));
+        assert_eq!(s.p50_us(), 2.0);
+    }
+
+    #[test]
+    fn rates_follow_the_counts() {
+        let s = ServiceSummary {
+            duration_ns: 500_000_000, // 0.5 s
+            offered: 200,
+            on_time: 150,
+            late: 10,
+            shed_queue_full: 30,
+            shed_hopeless: 5,
+            failed_faults: 3,
+            unsolved: 2,
+            instances: 2,
+            busy_ns: 600_000_000,
+            ..ServiceSummary::default()
+        };
+        assert_eq!(s.completed(), 160);
+        assert_eq!(s.shed(), 35);
+        assert!((s.goodput_rps() - 300.0).abs() < 1e-9);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert!((s.utilization() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let s = ServiceSummary::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.latency_percentile_us(0.5), None);
+        assert_eq!(s.p999_us(), 0.0);
+    }
+}

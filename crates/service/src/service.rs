@@ -1,0 +1,556 @@
+//! The deterministic simulated-time planning service event loop.
+//!
+//! One run is a single-threaded discrete-event simulation (parallelism
+//! lives in campaign sweeps *around* runs and in the catalog build, both
+//! order-collected): tenants' pregenerated arrival streams feed an
+//! admission-controlled, bounded, deadline-aware queue; a dispatcher moves
+//! requests onto the first idle healthy instance of an
+//! [`AcceleratorPool`]; per-instance [`FaultInjector`]s strike dispatches,
+//! which retry with exponential backoff until the circuit breaker
+//! quarantines a persistently faulty instance; and a load-level controller
+//! steps congested traffic down the quality ladder instead of missing
+//! deadlines. Every random draw is seeded from the run configuration, so
+//! a run is a pure function of `(catalog, tenants, duration, config)`.
+
+use mp_planner::QualityTier;
+use mp_sim::fault::{FaultInjector, FaultKind, FaultPlan};
+use mp_sim::vtime::{EventQueue, VirtualNs, NS_PER_US};
+use mpaccel_core::pool::AcceleratorPool;
+
+use crate::breaker::BreakerConfig;
+use crate::catalog::PlanCatalog;
+use crate::degrade::DegradeConfig;
+use crate::metrics::ServiceSummary;
+use crate::queue::{QueuePolicy, RequestQueue};
+use crate::request::{Request, ShedReason, TenantSpec, Verdict};
+
+/// Retry-with-backoff policy for faulted dispatches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Re-dispatches allowed after the first attempt.
+    pub max_retries: u32,
+    /// Base backoff in microseconds; doubles per attempt.
+    pub backoff_us: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            max_retries: 3,
+            backoff_us: 50,
+        }
+    }
+}
+
+/// Fault environment for a run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Per-kind fault probability per dispatch (see
+    /// [`FaultKind::ALL`]; a dispatch rolls every kind).
+    pub rate_per_kind: f64,
+    /// Instance with an elevated fault rate (the "lemon"), exercising the
+    /// circuit breaker.
+    pub lemon: Option<usize>,
+    /// Rate multiplier for the lemon instance.
+    pub lemon_factor: f64,
+    /// Service-time multiplier for [`FaultKind::SlowUnit`] faults (the
+    /// dispatch completes correctly, just slower).
+    pub slow_factor: u64,
+}
+
+impl FaultProfile {
+    /// A fault-free environment.
+    pub fn none() -> FaultProfile {
+        FaultProfile {
+            rate_per_kind: 0.0,
+            lemon: None,
+            lemon_factor: 1.0,
+            slow_factor: 4,
+        }
+    }
+
+    /// A uniform fault rate with one lemon instance at `lemon_factor`×
+    /// that rate.
+    pub fn with_lemon(rate_per_kind: f64, lemon: usize, lemon_factor: f64) -> FaultProfile {
+        FaultProfile {
+            rate_per_kind,
+            lemon: Some(lemon),
+            lemon_factor,
+            slow_factor: 4,
+        }
+    }
+}
+
+/// Full configuration of one service run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// Simulated MPAccel instances in the pool.
+    pub instances: usize,
+    /// Queue discipline.
+    pub policy: QueuePolicy,
+    /// Admission control: bounded queue with shedding, plus hopeless-miss
+    /// shedding at dispatch. Off reproduces the naive unbounded baseline.
+    pub admission: bool,
+    /// Queue capacity when admission control is on.
+    pub queue_capacity: usize,
+    /// Graceful-degradation controller.
+    pub degrade: DegradeConfig,
+    /// Fault-retry policy.
+    pub retry: RetryConfig,
+    /// Circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// Fault environment.
+    pub faults: FaultProfile,
+    /// Run seed (fault streams, request→query assignment).
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            instances: 4,
+            policy: QueuePolicy::Edf,
+            admission: true,
+            queue_capacity: 64,
+            degrade: DegradeConfig::default(),
+            retry: RetryConfig::default(),
+            breaker: BreakerConfig::default(),
+            faults: FaultProfile::none(),
+            seed: 0,
+        }
+    }
+}
+
+enum Event {
+    /// A request arrives (or re-enters the queue after backoff or a tier
+    /// step-down).
+    Enqueue(usize),
+    /// Instance `inst` finishes the dispatch of request `req`.
+    Complete { inst: usize, req: usize },
+    /// Re-run the dispatcher (quarantine expiry / busy instance freed).
+    Wake,
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn us_to_ns(us: f64) -> VirtualNs {
+    (us * NS_PER_US as f64).round().max(1.0) as VirtualNs
+}
+
+struct Run<'a> {
+    catalog: &'a PlanCatalog,
+    cfg: &'a ServiceConfig,
+    reqs: Vec<Request>,
+    queue: RequestQueue,
+    pool: AcceleratorPool,
+    injectors: Vec<FaultInjector>,
+    events: EventQueue<Event>,
+    inflight: Vec<(usize, Option<FaultKind>)>,
+    summary: ServiceSummary,
+    latencies: Vec<VirtualNs>,
+    /// Earliest outstanding [`Event::Wake`], if any. Without this guard
+    /// every stalled dispatch would push a fresh wake and overload runs
+    /// would drown in duplicate wake events (one per queued request per
+    /// completion epoch).
+    wake_at: Option<VirtualNs>,
+}
+
+impl Run<'_> {
+    fn schedule_wake(&mut self, at: VirtualNs) {
+        if self.wake_at.is_none_or(|w| at < w) {
+            self.wake_at = Some(at);
+            self.events.push(at, Event::Wake);
+        }
+    }
+
+    fn resolve(&mut self, id: usize, verdict: Verdict) {
+        debug_assert!(self.reqs[id].verdict.is_none(), "request resolved twice");
+        match verdict {
+            Verdict::OnTime { .. } => self.summary.on_time += 1,
+            Verdict::Late { .. } => self.summary.late += 1,
+            Verdict::Shed(ShedReason::QueueFull) => self.summary.shed_queue_full += 1,
+            Verdict::Shed(ShedReason::Hopeless) => self.summary.shed_hopeless += 1,
+            Verdict::FailedFaults => self.summary.failed_faults += 1,
+            Verdict::Unsolved => self.summary.unsolved += 1,
+        }
+        self.reqs[id].verdict = Some(verdict);
+    }
+
+    fn enqueue(&mut self, id: usize, now: VirtualNs) {
+        if self.cfg.admission && self.queue.len() >= self.cfg.queue_capacity {
+            self.resolve(id, Verdict::Shed(ShedReason::QueueFull));
+            return;
+        }
+        let deadline = self.reqs[id].deadline_ns;
+        self.queue.push(id, deadline);
+        let _ = now;
+    }
+
+    /// Exact service time (ns) of `req` at ladder index `tier_idx`,
+    /// before any fault slowdown.
+    fn service_ns(&self, id: usize, tier_idx: usize) -> VirtualNs {
+        let tier = QualityTier::from_index(tier_idx);
+        us_to_ns(self.catalog.entry(self.reqs[id].key, tier).modeled_us)
+    }
+
+    fn dispatch(&mut self, now: VirtualNs) {
+        loop {
+            let Some(inst) = self.pool.acquire(now) else {
+                if !self.queue.is_empty() {
+                    if let Some(at) = self.pool.next_dispatchable_at(now) {
+                        self.schedule_wake(at);
+                    }
+                }
+                return;
+            };
+            let Some(id) = self.queue.pop() else { return };
+
+            // Tier choice: congestion controller first, then the
+            // request's floor from failed attempts, then slack-fit.
+            let base = self
+                .cfg
+                .degrade
+                .load_tier(self.queue.len(), self.pool.healthy(now));
+            let mut tier_idx = base.index().max(self.reqs[id].tier_floor);
+            if self.cfg.admission {
+                let slack = self.reqs[id].slack_ns(now);
+                while self.cfg.degrade.enabled
+                    && tier_idx + 1 < QualityTier::COUNT
+                    && self.service_ns(id, tier_idx) > slack
+                {
+                    tier_idx += 1;
+                }
+                if self.service_ns(id, tier_idx) > slack {
+                    self.resolve(id, Verdict::Shed(ShedReason::Hopeless));
+                    continue;
+                }
+            }
+
+            let mut service_ns = self.service_ns(id, tier_idx);
+            // Roll the fault environment for this dispatch. A slow-unit
+            // fault stretches the service time but still completes
+            // (masked); every other kind wastes the dispatch (detected at
+            // completion by the PR 1 mechanisms) and triggers a retry.
+            let inj = &mut self.injectors[inst];
+            inj.counters_mut().queries += 1;
+            let mut fault = FaultKind::ALL.into_iter().find(|&k| inj.fires(k));
+            if fault == Some(FaultKind::SlowUnit) {
+                service_ns *= self.cfg.faults.slow_factor.max(1);
+                inj.counters_mut().masked += 1;
+                fault = None;
+            }
+            self.reqs[id].attempts += 1;
+            self.inflight[inst] = (id, fault);
+            self.reqs[id].tier_floor = tier_idx; // remember the served tier
+            self.pool.begin(inst, now, service_ns);
+            self.events
+                .push(now + service_ns, Event::Complete { inst, req: id });
+        }
+    }
+
+    fn complete(&mut self, inst: usize, id: usize, now: VirtualNs) {
+        let (_, fault) = self.inflight[inst];
+        let tier_idx = self.reqs[id].tier_floor;
+        if let Some(_kind) = fault {
+            self.injectors[inst].counters_mut().detected += 1;
+            if self
+                .cfg
+                .breaker
+                .on_fault(&mut self.pool, inst, now)
+                .is_some()
+            {
+                self.injectors[inst].counters_mut().quarantined += 1;
+                // The expiry needs a wake in case the whole pool is idle
+                // but quarantined when it lands.
+                if let Some(at) = self.pool.next_dispatchable_at(now) {
+                    self.schedule_wake(at);
+                }
+            }
+            if self.reqs[id].attempts > self.cfg.retry.max_retries {
+                self.resolve(id, Verdict::FailedFaults);
+            } else {
+                let shift = (self.reqs[id].attempts - 1).min(16);
+                let backoff = (self.cfg.retry.backoff_us * NS_PER_US) << shift;
+                self.injectors[inst].counters_mut().redispatches += 1;
+                self.summary.retries += 1;
+                self.events.push(now + backoff, Event::Enqueue(id));
+            }
+        } else {
+            self.pool.record_success(inst);
+            let tier = QualityTier::from_index(tier_idx);
+            let entry = self.catalog.entry(self.reqs[id].key, tier);
+            if entry.solved {
+                let latency = now - self.reqs[id].arrival_ns;
+                let verdict = if now <= self.reqs[id].deadline_ns {
+                    Verdict::OnTime {
+                        tier,
+                        latency_ns: latency,
+                    }
+                } else {
+                    Verdict::Late {
+                        tier,
+                        latency_ns: latency,
+                    }
+                };
+                self.summary.tier_served[tier_idx] += 1;
+                self.latencies.push(latency);
+                self.resolve(id, verdict);
+            } else if tier_idx + 1 < QualityTier::COUNT {
+                // Budget exhausted without a path: step down the ladder
+                // and try again immediately (the cheap re-plan path).
+                self.reqs[id].tier_floor = tier_idx + 1;
+                self.summary.tier_stepdowns += 1;
+                self.enqueue(id, now);
+            } else {
+                self.resolve(id, Verdict::Unsolved);
+            }
+        }
+    }
+}
+
+/// Runs the service simulation and returns its aggregate summary.
+/// Deterministic: identical inputs yield an identical summary, on any
+/// machine and at any ambient thread count.
+///
+/// # Panics
+///
+/// Panics if the catalog is empty or `cfg.instances == 0`.
+pub fn run_service(
+    catalog: &PlanCatalog,
+    tenants: &[TenantSpec],
+    duration_ns: VirtualNs,
+    cfg: &ServiceConfig,
+) -> ServiceSummary {
+    assert!(catalog.num_keys() > 0, "empty catalog");
+    let mut reqs = Vec::new();
+    let mut events = EventQueue::new();
+    for (ti, tenant) in tenants.iter().enumerate() {
+        for (ai, arrival_ns) in tenant.process.generate(duration_ns).into_iter().enumerate() {
+            let key = (mix(cfg.seed ^ ((ti as u64) << 40) ^ ai as u64) % catalog.num_keys() as u64)
+                as usize;
+            let id = reqs.len();
+            reqs.push(Request {
+                tenant: ti,
+                arrival_ns,
+                deadline_ns: arrival_ns + tenant.deadline_us * NS_PER_US,
+                key,
+                attempts: 0,
+                tier_floor: 0,
+                verdict: None,
+            });
+            events.push(arrival_ns, Event::Enqueue(id));
+        }
+    }
+
+    let injectors = (0..cfg.instances)
+        .map(|i| {
+            let rate = cfg.faults.rate_per_kind
+                * if cfg.faults.lemon == Some(i) {
+                    cfg.faults.lemon_factor
+                } else {
+                    1.0
+                };
+            FaultInjector::new(FaultPlan::uniform(
+                rate.min(0.9),
+                mix(cfg.seed ^ 0xFA17_0000 ^ i as u64),
+            ))
+        })
+        .collect();
+
+    let summary = ServiceSummary::for_run(duration_ns, cfg.instances, reqs.len() as u64);
+    let mut run = Run {
+        catalog,
+        cfg,
+        reqs,
+        queue: RequestQueue::new(cfg.policy),
+        pool: AcceleratorPool::new(cfg.instances),
+        injectors,
+        events,
+        inflight: vec![(usize::MAX, None); cfg.instances],
+        summary,
+        latencies: Vec::new(),
+        wake_at: None,
+    };
+
+    while let Some((now, ev)) = run.events.pop() {
+        match ev {
+            Event::Enqueue(id) => {
+                run.enqueue(id, now);
+                run.dispatch(now);
+            }
+            Event::Complete { inst, req } => {
+                run.complete(inst, req, now);
+                run.dispatch(now);
+            }
+            Event::Wake => {
+                if run.wake_at.is_some_and(|w| w <= now) {
+                    run.wake_at = None;
+                }
+                run.dispatch(now);
+            }
+        }
+    }
+
+    debug_assert!(
+        run.reqs.iter().all(|r| r.verdict.is_some()),
+        "every request must resolve"
+    );
+    run.summary.quarantines = run.pool.total_quarantines();
+    run.summary.busy_ns = run.pool.total_busy_ns();
+    for inj in &run.injectors {
+        run.summary.resilience.merge(inj.counters());
+    }
+    let latencies = std::mem::take(&mut run.latencies);
+    run.summary.set_latencies(latencies);
+    run.summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_octree::{benchmark_scenes, Scene};
+    use mp_robot::RobotModel;
+    use mp_sim::arrival::{ArrivalKind, ArrivalProcess};
+    use std::sync::OnceLock;
+    use threadpool::ThreadPool;
+
+    fn catalog() -> &'static PlanCatalog {
+        static CAT: OnceLock<PlanCatalog> = OnceLock::new();
+        CAT.get_or_init(|| {
+            let scenes: Vec<Scene> = benchmark_scenes().into_iter().take(2).collect();
+            PlanCatalog::build(&RobotModel::jaco2(), &scenes, 2, 3, &ThreadPool::new(2))
+                .expect("catalog builds")
+        })
+    }
+
+    fn tenants(rate: f64) -> Vec<TenantSpec> {
+        let deadline_us = (4.0 * catalog().mean_service_us(QualityTier::Full)) as u64;
+        vec![
+            TenantSpec {
+                label: "interactive",
+                process: ArrivalProcess {
+                    kind: ArrivalKind::Poisson,
+                    rate_per_s: rate * 0.7,
+                    seed: 101,
+                },
+                deadline_us,
+            },
+            TenantSpec {
+                label: "bursty",
+                process: ArrivalProcess {
+                    kind: ArrivalKind::Bursty {
+                        burst_factor: 5.0,
+                        period_us: 5_000,
+                        duty: 0.2,
+                    },
+                    rate_per_s: rate * 0.3,
+                    seed: 202,
+                },
+                deadline_us: deadline_us * 2,
+            },
+        ]
+    }
+
+    const DURATION: VirtualNs = 50_000_000; // 50 ms simulated
+
+    #[test]
+    fn runs_are_deterministic_and_conserving() {
+        let cfg = ServiceConfig {
+            faults: FaultProfile::with_lemon(0.01, 0, 10.0),
+            ..ServiceConfig::default()
+        };
+        let rate = catalog().saturating_rate_per_s(cfg.instances);
+        let a = run_service(catalog(), &tenants(rate), DURATION, &cfg);
+        let b = run_service(catalog(), &tenants(rate), DURATION, &cfg);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "summaries differ");
+        assert_eq!(
+            a.offered,
+            a.on_time + a.late + a.shed() + a.failed_faults + a.unsolved,
+            "every request must resolve exactly once"
+        );
+        assert!(a.offered > 100, "expected meaningful traffic");
+    }
+
+    #[test]
+    fn underload_serves_nearly_everything_on_time() {
+        let cfg = ServiceConfig::default();
+        let rate = 0.3 * catalog().saturating_rate_per_s(cfg.instances);
+        let s = run_service(catalog(), &tenants(rate), DURATION, &cfg);
+        assert!(
+            s.miss_rate() < 0.35,
+            "underloaded service misses {:.1}% (catalog solve rate {:.2})",
+            100.0 * s.miss_rate(),
+            catalog().solve_rate(QualityTier::Full),
+        );
+        assert!(s.p50_us() > 0.0);
+    }
+
+    #[test]
+    fn degradation_beats_the_naive_baseline_under_overload() {
+        let rate = 2.0 * catalog().saturating_rate_per_s(4);
+        let naive = ServiceConfig {
+            policy: QueuePolicy::Fifo,
+            admission: false,
+            degrade: DegradeConfig::off(),
+            ..ServiceConfig::default()
+        };
+        let degrading = ServiceConfig::default();
+        let a = run_service(catalog(), &tenants(rate), DURATION, &naive);
+        let b = run_service(catalog(), &tenants(rate), DURATION, &degrading);
+        assert!(
+            b.goodput_rps() > a.goodput_rps(),
+            "degradation goodput {:.0} <= naive {:.0}",
+            b.goodput_rps(),
+            a.goodput_rps()
+        );
+        assert!(
+            b.miss_rate() < a.miss_rate(),
+            "degradation miss {:.3} >= naive {:.3}",
+            b.miss_rate(),
+            a.miss_rate()
+        );
+        // The degrading run actually used cheaper tiers.
+        assert!(b.tier_served[1..].iter().sum::<u64>() > 0);
+        // The naive run only ever serves full quality.
+        assert_eq!(a.tier_served[1..].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn lemon_instance_gets_quarantined_and_retries_happen() {
+        let cfg = ServiceConfig {
+            faults: FaultProfile::with_lemon(0.02, 0, 25.0),
+            ..ServiceConfig::default()
+        };
+        let rate = catalog().saturating_rate_per_s(cfg.instances);
+        let s = run_service(catalog(), &tenants(rate), DURATION, &cfg);
+        assert!(s.retries > 0, "faults must trigger retries");
+        assert!(s.quarantines > 0, "the lemon must trip the breaker");
+        assert!(s.resilience.injected_total() > 0);
+        assert_eq!(s.resilience.redispatches, s.retries);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_under_adversarial_bursts() {
+        let cfg = ServiceConfig {
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        };
+        let rate = 3.0 * catalog().saturating_rate_per_s(cfg.instances);
+        let t = vec![TenantSpec {
+            label: "adversarial",
+            process: ArrivalProcess {
+                kind: ArrivalKind::Adversarial { batch: 64 },
+                rate_per_s: rate,
+                seed: 9,
+            },
+            deadline_us: 2_000,
+        }];
+        let s = run_service(catalog(), &t, DURATION, &cfg);
+        assert!(s.shed_queue_full > 0, "batches must overflow the queue");
+    }
+}

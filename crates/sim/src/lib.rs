@@ -14,17 +14,26 @@
 //! The resilience study adds a fourth ingredient: seeded hardware [`fault`]
 //! plans (SRAM bit flips, stuck/slow units, dropped or corrupted results,
 //! saturation events) with the counters the recovery layers maintain.
+//!
+//! The service study (overload robustness) adds simulated-time machinery:
+//! a deterministic discrete-event queue over integer-nanosecond [`vtime`]
+//! and seeded open-loop [`arrival`] processes (Poisson, bursty,
+//! adversarial) driving the multi-tenant planning service in `mp-service`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod counters;
 pub mod energy;
 pub mod fault;
 pub mod power;
 pub mod time;
+pub mod vtime;
 
+pub use arrival::{ArrivalKind, ArrivalProcess};
 pub use counters::OpCounter;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, ResilienceCounters};
 pub use power::{AreaPower, CecduConfig, IuKind, MpaccelConfig};
 pub use time::ClockDomain;
+pub use vtime::{EventQueue, VirtualNs};

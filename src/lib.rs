@@ -12,6 +12,9 @@
 //! * [`sim`] — cycle/energy/area modelling,
 //! * [`accel`] — the MPAccel accelerator (SAS + CECDUs),
 //! * [`planner`] — MPNet-style neural planner and RRT baselines,
+//! * [`service`] — deterministic multi-tenant planning service (admission
+//!   control, EDF scheduling, degradation ladder) over a pool of
+//!   simulated accelerators,
 //! * [`baselines`] — CPU/GPU comparison models.
 
 #![forbid(unsafe_code)]
@@ -23,5 +26,6 @@ pub use mp_geometry as geometry;
 pub use mp_octree as octree;
 pub use mp_planner as planner;
 pub use mp_robot as robot;
+pub use mp_service as service;
 pub use mp_sim as sim;
 pub use mpaccel_core as accel;
