@@ -64,6 +64,7 @@ fn bench_table2(c: &mut Criterion) {
 fn bench_kernels(c: &mut Criterion) {
     use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig};
     use mp_geometry::sat::sat_first_separating;
+    use mp_geometry::soa::{cascade_batch_soa, sat_batch_soa, CascadeBatchScratch};
     use mp_geometry::{Aabb, Mat3, Obb, Vec3};
     use mp_octree::{Scene, SceneConfig};
     use mp_planner::nn::{Activation, Mlp, MlpScratch};
@@ -113,6 +114,57 @@ fn bench_kernels(c: &mut Criterion) {
             }))
         })
     });
+    // Batched counterparts of the two benches above: one OBB against a
+    // whole SoA lane range, and the flat-arena traversal the software
+    // checker now runs.
+    let flat = tree.flat();
+    let full_range = 0..flat.entry_count();
+    let mut batch_scratch = CascadeBatchScratch::default();
+    let mut sat_out = Vec::new();
+    let mut cascade_out = Vec::new();
+    g.bench_function("sat_batch_soa_all_axes", |b| {
+        b.iter(|| {
+            sat_batch_soa(
+                black_box(&obb_f32),
+                flat.aabbs(),
+                black_box(full_range.clone()),
+                1,
+                15,
+                &mut batch_scratch,
+                &mut sat_out,
+            );
+            black_box(sat_out.len())
+        })
+    });
+    let mut stack: Vec<u32> = Vec::new();
+    g.bench_function("octree_query_flat_batched", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            stack.clear();
+            stack.push(0);
+            while let Some(addr) = stack.pop() {
+                let range = flat.entries(addr);
+                cascade_batch_soa(
+                    black_box(&obb_f32),
+                    &cfg,
+                    flat.aabbs(),
+                    range.clone(),
+                    &mut batch_scratch,
+                    &mut cascade_out,
+                );
+                for (lane, e) in range.enumerate() {
+                    if cascade_out[lane].colliding {
+                        if flat.is_full(e) {
+                            hits += 1;
+                        } else {
+                            stack.push(flat.child(e));
+                        }
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
     g.bench_function("forward_kinematics_obbs", |b| {
         b.iter(|| {
             fk::link_obbs_into(
@@ -126,6 +178,8 @@ fn bench_kernels(c: &mut Criterion) {
         })
     });
     g.bench_function("mlp_forward", |b| {
+        // The allocating baseline, kept as the scratch variant's foil.
+        #[allow(deprecated)]
         b.iter(|| black_box(mlp.forward(black_box(&mlp_input))))
     });
     g.bench_function("mlp_forward_scratch", |b| {

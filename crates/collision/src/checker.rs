@@ -1,6 +1,7 @@
 //! Pose-level collision checking.
 
-use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig};
+use mp_geometry::cascade::{CascadeConfig, CascadeOutcome};
+use mp_geometry::soa::{cascade_batch_soa, CascadeBatchScratch};
 use mp_geometry::{Obb, Transform};
 use mp_octree::Octree;
 use mp_robot::fk::link_obbs_into;
@@ -67,6 +68,11 @@ pub struct SoftwareChecker {
     // duration of a query so the borrow checker sees disjoint state).
     frame_buf: Vec<Transform>,
     obb_buf: Vec<Obb<f32>>,
+    // Flat-octree traversal buffers, same take/restore discipline: node
+    // stack plus lane scratch for the batched cascade kernel.
+    stack_buf: Vec<u32>,
+    scratch: CascadeBatchScratch<f32>,
+    outcome_buf: Vec<CascadeOutcome>,
 }
 
 impl SoftwareChecker {
@@ -80,6 +86,9 @@ impl SoftwareChecker {
             stats: CdStats::default(),
             frame_buf: Vec::new(),
             obb_buf: Vec::new(),
+            stack_buf: Vec::new(),
+            scratch: CascadeBatchScratch::default(),
+            outcome_buf: Vec::new(),
         }
     }
 
@@ -118,21 +127,46 @@ impl CollisionChecker for SoftwareChecker {
         crate::metrics::record_pose_checks(1);
         let mut frames = std::mem::take(&mut self.frame_buf);
         let mut obbs = std::mem::take(&mut self.obb_buf);
+        let mut stack = std::mem::take(&mut self.stack_buf);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut outcomes = std::mem::take(&mut self.outcome_buf);
         link_obbs_into(&self.robot, cfg, self.trig, &mut frames, &mut obbs);
+        let flat = self.octree.flat();
         let mut colliding = false;
         for obb in &obbs {
             self.stats.link_tests += 1;
-            let mut box_tests = 0u64;
-            let mut mults = 0u64;
-            let (hit, tstats) = self.octree.collides_with_stats(&mut |aabb| {
-                box_tests += 1;
-                let out = cascaded_obb_aabb(obb, aabb, &self.cascade);
-                mults += out.mults as u64;
-                out.colliding
-            });
-            self.stats.box_tests += box_tests;
-            self.stats.mults += mults;
-            self.stats.nodes_visited += tstats.nodes_visited as u64;
+            // Flat traversal with batched cascades: each visited node's
+            // occupied octants are one contiguous SoA range, evaluated by
+            // the batch kernel, then committed in octant order. Lanes past
+            // a terminal hit are dropped uncommitted, so every counter
+            // matches the scalar early-exit walk exactly.
+            stack.clear();
+            stack.push(0u32);
+            let mut hit = false;
+            'walk: while let Some(addr) = stack.pop() {
+                self.stats.nodes_visited += 1;
+                let range = flat.entries(addr);
+                cascade_batch_soa(
+                    obb,
+                    &self.cascade,
+                    flat.aabbs(),
+                    range.clone(),
+                    &mut scratch,
+                    &mut outcomes,
+                );
+                for (lane, e) in range.enumerate() {
+                    let out = &outcomes[lane];
+                    self.stats.box_tests += 1;
+                    self.stats.mults += out.mults as u64;
+                    if out.colliding {
+                        if flat.is_full(e) {
+                            hit = true;
+                            break 'walk;
+                        }
+                        stack.push(flat.child(e));
+                    }
+                }
+            }
             if hit {
                 // Early exit: subsequent links are not checked (§7.2.2).
                 colliding = true;
@@ -141,6 +175,9 @@ impl CollisionChecker for SoftwareChecker {
         }
         self.frame_buf = frames;
         self.obb_buf = obbs;
+        self.stack_buf = stack;
+        self.scratch = scratch;
+        self.outcome_buf = outcomes;
         colliding
     }
 

@@ -9,7 +9,7 @@
 //! * **pipelined** — the four stages form a pipeline with initiation
 //!   interval 1, so a query can be issued every cycle at a fixed latency.
 
-use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig, ExitStage};
+use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig, CascadeOutcome, ExitStage};
 use mp_geometry::sat::{sat_first_separating, SAT_ALL_MULS};
 use mp_geometry::{FxAabb, FxObb};
 use mp_sim::{IuKind, OpCounter};
@@ -52,7 +52,16 @@ pub struct IuOutcome {
 /// assert_eq!(out.latency, 1); // far apart: bounding-sphere filter, 1 cycle
 /// ```
 pub fn execute(obb: &FxObb, aabb: &FxAabb, cfg: &CascadeConfig, kind: IuKind) -> IuOutcome {
-    let out = cascaded_obb_aabb(obb, aabb, cfg);
+    outcome_from_cascade(&cascaded_obb_aabb(obb, aabb, cfg), cfg, kind)
+}
+
+/// Applies the unit's timing model to an already-evaluated cascade outcome.
+///
+/// [`execute`] is the single-pair form; the batched OOCD traversal
+/// evaluates whole candidate ranges with `mp_geometry::soa` kernels and
+/// feeds each lane's [`CascadeOutcome`] through here, so the cycle/op
+/// accounting is shared (and stays bit-identical) between the two paths.
+pub fn outcome_from_cascade(out: &CascadeOutcome, cfg: &CascadeConfig, kind: IuKind) -> IuOutcome {
     let ops = OpCounter {
         mults: out.mults as u64,
         box_tests: 1,

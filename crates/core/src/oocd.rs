@@ -12,13 +12,27 @@
 //!    further traversal; a colliding *fully occupied* octant terminates the
 //!    query with `colliding = true`.
 
-use mp_geometry::cascade::CascadeConfig;
+use std::cell::Cell;
+
+use mp_fixed::Fx;
+use mp_geometry::cascade::{CascadeConfig, CascadeOutcome};
+use mp_geometry::soa::{cascade_batch_soa, CascadeBatchScratch};
 use mp_geometry::{FxObb, Obb};
 use mp_octree::{Node, Occupancy, Octree};
 use mp_sim::fault::{parity24, FaultKind, SRAM_WORD_BITS};
 use mp_sim::{FaultInjector, IuKind, OpCounter};
 
 use crate::intersection_unit::{self, IU_PIPELINE_DEPTH};
+
+thread_local! {
+    // Reusable traversal buffers (stack of node addresses, batch-kernel
+    // lane scratch, per-entry outcomes). Taken out of the cell per query
+    // and put back afterwards, like the octree's own traversal stack:
+    // allocation-free in steady state, reentrancy-safe.
+    #[allow(clippy::type_complexity)]
+    static OOCD_SCRATCH: Cell<(Vec<u32>, CascadeBatchScratch<Fx>, Vec<CascadeOutcome>)> =
+        Cell::new((Vec::new(), CascadeBatchScratch::default(), Vec::new()));
+}
 
 /// Configuration of one OOCD.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -70,77 +84,71 @@ pub struct OocdResult {
 pub fn run_oocd(octree: &Octree, obb: &FxObb, cfg: &OocdConfig) -> OocdResult {
     let mut cycles: u64 = 1; // root address into the Address Register
     let mut ops = OpCounter::default();
+    let flat = octree.flat();
 
+    let (mut stack, mut scratch, mut outcomes) = OOCD_SCRATCH.with(Cell::take);
     // The traversal stack models the Address Register + Node Queue.
-    let mut stack: Vec<(u32, mp_geometry::AabbF)> = vec![(0, octree.root_aabb())];
+    stack.clear();
+    stack.push(0u32);
+    let mut hit = false;
 
-    while let Some((addr, node_aabb)) = stack.pop() {
+    'walk: while let Some(addr) = stack.pop() {
         // SRAM read of the 24-bit node word.
         cycles += 1;
         ops.sram_reads += 1;
 
-        let node = octree.node(addr);
-        let mut issued: u64 = 0;
-        for octant in 0..8 {
-            let occ = node.occupancy(octant);
-            if !occ.is_occupied() {
-                continue;
-            }
-            let oct_aabb = Octree::octant_aabb(&node_aabb, octant).quantize();
-            let out = intersection_unit::execute(obb, &oct_aabb, &cfg.cascade, cfg.iu);
+        // The node's occupied octants form a contiguous entry range whose
+        // Q3.12 boxes are precomputed in the arena (same quantize-roundtrip
+        // chain the per-octant walk derived); the whole range goes through
+        // the batch cascade kernel, then each lane is committed in octant
+        // order with the unit's timing model. Lanes past a terminal hit
+        // are discarded uncommitted, so cycle/op totals replicate the
+        // scalar walk exactly.
+        let range = flat.entries(addr);
+        cascade_batch_soa(
+            obb,
+            &cfg.cascade,
+            flat.aabbs_oocd(),
+            range.clone(),
+            &mut scratch,
+            &mut outcomes,
+        );
+        for (lane, e) in range.enumerate() {
+            let out =
+                intersection_unit::outcome_from_cascade(&outcomes[lane], &cfg.cascade, cfg.iu);
             ops += out.ops;
-            issued += 1;
             match cfg.iu {
-                IuKind::MultiCycle => {
-                    // The unit is busy for the whole cascade.
-                    cycles += out.initiation_interval as u64;
-                }
-                IuKind::Pipelined => {
-                    // One issue slot per query; drain latency added below.
-                    cycles += 1;
-                }
+                // The unit is busy for the whole cascade.
+                IuKind::MultiCycle => cycles += out.initiation_interval as u64,
+                // One issue slot per query; drain latency added below.
+                IuKind::Pipelined => cycles += 1,
             }
-            let colliding = out.colliding;
-            if colliding {
-                match occ {
-                    Occupancy::Full => {
-                        // Terminal: report collision once this result drains.
-                        if cfg.iu == IuKind::Pipelined {
-                            cycles += (IU_PIPELINE_DEPTH - 1) as u64;
-                        }
-                        return OocdResult {
-                            colliding: true,
-                            cycles,
-                            ops,
-                        };
-                    }
-                    Occupancy::Partial => {
-                        // Builder invariant (trusted SRAM): see
-                        // `run_oocd_with_faults` for the defensive decode
-                        // path used when words may be corrupted.
-                        let child = node
-                            .child_address(octant)
-                            .expect("partial octant must have a child");
-                        stack.push((child, oct_aabb.to_f32()));
-                    }
-                    Occupancy::Empty => unreachable!(),
+            if out.colliding {
+                if flat.is_full(e) {
+                    // Terminal: report collision once this result drains.
+                    hit = true;
+                    break 'walk;
                 }
+                stack.push(flat.child(e));
             }
         }
         // The Node Queue lets the traverser prefetch the next stacked node
         // while pipelined results drain, hiding the pipeline latency
         // between nodes entirely; only the final drain (below) is exposed.
-        let _ = issued;
     }
 
+    stack.clear();
+    OOCD_SCRATCH.with(|cell| cell.set((stack, scratch, outcomes)));
+
     if cfg.iu == IuKind::Pipelined {
-        // Final drain: the last in-flight result must leave the pipeline
-        // before the traverser can report "no collision".
+        // Drain: for a hit, the terminal result must leave the pipeline;
+        // for a miss, the last in-flight result must before the traverser
+        // can report "no collision".
         cycles += (IU_PIPELINE_DEPTH - 1) as u64;
     }
 
     OocdResult {
-        colliding: false,
+        colliding: hit,
         cycles,
         ops,
     }
@@ -149,10 +157,12 @@ pub fn run_oocd(octree: &Octree, obb: &FxObb, cfg: &OocdConfig) -> OocdResult {
 /// Software cross-check: the same traversal evaluated functionally (no
 /// timing), used to validate [`run_oocd`] in tests and debug assertions.
 pub fn reference_outcome(octree: &Octree, obb: &FxObb, cascade: &CascadeConfig) -> bool {
-    let obb_f = obb.to_f32();
+    // Note this quantizes the *pure* f32 octant chain per query box — a
+    // deliberately independent derivation from the OOCD's level-by-level
+    // quantize-roundtrip chain, which is what makes it a cross-check.
+    let obb_q = obb.to_f32().quantize();
     octree.collides_with(|aabb| {
-        mp_geometry::cascade::cascaded_obb_aabb(&obb_f.quantize(), &aabb.quantize(), cascade)
-            .colliding
+        mp_geometry::cascade::cascaded_obb_aabb(&obb_q, &aabb.quantize(), cascade).colliding
     })
 }
 
@@ -215,8 +225,17 @@ pub fn run_oocd_with_faults(
     let mut out = FaultyOocdOutcome::default();
     let node_count = octree.node_count() as u32;
     let read_cap = 2 * node_count as u64 + 8;
+    let flat = octree.flat();
 
-    let mut stack: Vec<(u32, mp_geometry::AabbF)> = vec![(0, octree.root_aabb())];
+    // Each stack entry carries the node's OOCD-chain parent box plus a
+    // `clean` flag: a node reached through uncorrupted words along the
+    // builder's own chain can serve its precomputed arena boxes (the fast,
+    // batched path of `run_oocd`); once an upset corrupts a word, every box
+    // downstream is derived from the corrupted path on the fly, exactly as
+    // the hardware would.
+    let mut stack: Vec<(u32, mp_geometry::AabbF, bool)> = vec![(0, octree.root_aabb(), true)];
+    let mut scratch = CascadeBatchScratch::default();
+    let mut outcomes: Vec<CascadeOutcome> = Vec::new();
 
     let detect = |mut o: FaultyOocdOutcome, cycles: u64, ops: OpCounter| {
         // Conservative in-unit fallback: report the octant occupied.
@@ -228,7 +247,7 @@ pub fn run_oocd_with_faults(
         o
     };
 
-    while let Some((addr, node_aabb)) = stack.pop() {
+    while let Some((addr, node_aabb, clean)) = stack.pop() {
         cycles += 1;
         ops.sram_reads += 1;
 
@@ -246,11 +265,13 @@ pub fn run_oocd_with_faults(
         }
 
         let stored = octree.node(addr);
+        let mut corrupted = false;
         let node = match stored.pack() {
             Err(_) => *stored, // no 24-bit word to corrupt
             Ok(word) => {
                 let (word, stored_parity) = if inj.fires(FaultKind::SramBitFlip) {
                     out.sram_upsets += 1;
+                    corrupted = true;
                     // The stored parity bit covered the original word; the
                     // upset flipped either a data bit or the parity bit.
                     let upset = inj.corrupt_sram_word(word);
@@ -275,6 +296,46 @@ pub fn run_oocd_with_faults(
                 }
             }
         };
+
+        if clean && !corrupted {
+            // Decoded word equals the stored node and the parent box is on
+            // the builder's chain: the arena's precomputed Q3.12 boxes are
+            // exactly what the per-octant walk would derive. Batch them.
+            let range = flat.entries(addr);
+            cascade_batch_soa(
+                obb,
+                &cfg.cascade,
+                flat.aabbs_oocd(),
+                range.clone(),
+                &mut scratch,
+                &mut outcomes,
+            );
+            for (lane, e) in range.enumerate() {
+                let iu_out =
+                    intersection_unit::outcome_from_cascade(&outcomes[lane], &cfg.cascade, cfg.iu);
+                ops += iu_out.ops;
+                match cfg.iu {
+                    IuKind::MultiCycle => cycles += iu_out.initiation_interval as u64,
+                    IuKind::Pipelined => cycles += 1,
+                }
+                if iu_out.colliding {
+                    if flat.is_full(e) {
+                        if cfg.iu == IuKind::Pipelined {
+                            cycles += (IU_PIPELINE_DEPTH - 1) as u64;
+                        }
+                        out.result = OocdResult {
+                            colliding: true,
+                            cycles,
+                            ops,
+                        };
+                        return out;
+                    }
+                    let child = flat.child(e);
+                    stack.push((child, flat.node_aabb_oocd(child), true));
+                }
+            }
+            continue;
+        }
 
         for octant in 0..8 {
             let occ = node.occupancy(octant);
@@ -308,7 +369,7 @@ pub fn run_oocd_with_faults(
                         // the bits) and the address checks above catch
                         // out-of-range pointers.
                         if let Some(child) = node.child_address(octant) {
-                            stack.push((child, oct_aabb.to_f32()));
+                            stack.push((child, oct_aabb.to_f32(), false));
                         }
                     }
                     Occupancy::Empty => unreachable!(),

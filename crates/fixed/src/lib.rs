@@ -61,6 +61,7 @@ pub const RESOLUTION: f32 = 1.0 / SCALE as f32;
 /// assert_eq!(Fx::MAX + Fx::MAX, Fx::MAX); // saturates
 /// ```
 #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Fx(i16);
 
 impl Fx {

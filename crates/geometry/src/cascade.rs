@@ -255,16 +255,13 @@ pub fn cascaded_obb_aabb<S: Scalar>(
 
 /// Sphere–AABB overlap with the sphere centered at the OBB center and the
 /// given radius, in the scalar's native arithmetic.
+///
+/// For Fx the comparison stays narrow in the *test* path; the hardware
+/// model in `mpaccel-core` uses the wide-accumulator fixed-point version —
+/// the two agree because both are exact on Q3.12 inputs within the Q6.24
+/// range.
 fn sphere_overlaps<S: Scalar>(obb: &Obb<S>, aabb: &Aabb<S>, radius: S) -> bool {
-    let closest = aabb.closest_point(obb.center);
-    let d = closest - obb.center;
-    // Compare squared distance against squared radius. For Fx this widens
-    // through f32 only in the *test* path; the hardware model in
-    // `mpaccel-core` uses the wide-accumulator fixed-point version — the two
-    // agree because both are exact on Q3.12 inputs within the Q6.24 range.
-    let dist2 = d.dot(d);
-    let r2 = radius * radius;
-    dist2 <= r2
+    crate::sphere::sphere_aabb_overlap(obb.center, radius, aabb)
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@ pub mod mat3;
 pub mod obb;
 pub mod sat;
 pub mod scalar;
+pub mod soa;
 pub mod sphere;
 pub mod transform;
 pub mod vec3;

@@ -93,6 +93,24 @@ pub fn axis_mult_count(axis: AxisId) -> u32 {
 /// Total multiplications for all 15 axis tests (3×3 + 3×6 + 9×6 = 81).
 pub const SAT_ALL_MULS: u32 = 81;
 
+/// Multiplications spent by evaluating the contiguous axis range
+/// `start..start + len` (1-based ids) — the cost [`sat_batch_range`]
+/// reports, precomputable when the same range is swept over many pairs.
+///
+/// # Panics
+///
+/// Panics unless the range stays within `1..=15`.
+#[inline]
+pub fn range_mult_count(start: u8, len: u8) -> u32 {
+    assert!(
+        start >= 1 && len >= 1 && start + len - 1 <= 15,
+        "axis range {start}+{len} out of 1..=15"
+    );
+    (start..start + len)
+        .map(|raw| axis_mult_count(AxisId(raw)))
+        .sum()
+}
+
 /// Result of a (possibly early-exiting) separating-axis test sequence.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SatResult {

@@ -14,6 +14,20 @@ use crate::vec3::Vector3;
 /// (the radius is stored pre-squared).
 pub const SPHERE_AABB_MULS: u32 = 3;
 
+/// Sphere–AABB overlap in the scalar's native (narrow) arithmetic: the
+/// cascade's filter primitive, factored out so the batched SoA kernels can
+/// share the exact scalar expression. Squared distance from `center` to the
+/// box's closest point is compared against `radius * radius`; touching
+/// counts as overlap.
+#[inline]
+pub fn sphere_aabb_overlap<S: Scalar>(center: Vector3<S>, radius: S, aabb: &Aabb<S>) -> bool {
+    let closest = aabb.closest_point(center);
+    let d = closest - center;
+    let dist2 = d.dot(d);
+    let r2 = radius * radius;
+    dist2 <= r2
+}
+
 /// A sphere given by center and radius.
 ///
 /// # Examples

@@ -1,0 +1,253 @@
+//! Flattened, cache-ordered octree arena.
+//!
+//! [`crate::Octree`] stores BFS-ordered nodes whose octant AABBs are
+//! *recomputed* on every traversal (and, on the OOCD hardware-model path,
+//! re-*quantized* on every visit — the dominant cost in profiles). The
+//! [`FlatOctree`] mirror precomputes everything a traversal touches into
+//! linear arrays once at build time:
+//!
+//! * per node, the contiguous **entry range** of its occupied octants —
+//!   a traversal step yields a candidate *range*, not a candidate node;
+//! * per entry, the octant id, a full/partial flag, the child address
+//!   (partials only), and the octant AABB mirrored into structure-of-arrays
+//!   form ([`AabbSoa`]) ready for the batch kernels in `mp_geometry::soa`;
+//! * two AABB chains, because the two consumers derive boxes differently:
+//!   the **pure `f32` chain** (each child box is an exact eighth of its
+//!   parent — what `Octree::collides_with` computes on the fly) and the
+//!   **OOCD chain**, where the hardware model re-quantizes each level's box
+//!   to Q3.12 and children subdivide the *dequantized* box. Both are
+//!   bit-identical to what the corresponding on-the-fly traversal produces.
+//!
+//! Nodes are BFS-ordered (children have higher addresses than parents), so
+//! the arena is built in one forward pass and is a pure function of the
+//! node array and root box.
+
+use mp_fixed::Fx;
+use mp_geometry::soa::AabbSoa;
+use mp_geometry::AabbF;
+
+use crate::node::{Node, Occupancy};
+use crate::octree::Octree;
+
+/// Child-address sentinel for fully occupied entries (no child node).
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// The flattened arena (see the module docs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlatOctree {
+    /// `entry_start[n]..entry_start[n + 1]` indexes node `n`'s entries.
+    entry_start: Vec<u32>,
+    /// Octant id (0–7) of each entry, ascending within a node.
+    octants: Vec<u8>,
+    /// Whether the entry's octant is fully occupied (else partial).
+    full: Vec<bool>,
+    /// Child node address of partial entries; [`NO_CHILD`] for full ones.
+    children: Vec<u32>,
+    /// Octant AABBs, pure `f32` chain, SoA layout.
+    aabbs: AabbSoa<f32>,
+    /// Octant AABBs, OOCD quantize-roundtrip chain, SoA layout (the Q3.12
+    /// boxes the Intersection Unit is fed).
+    aabbs_oocd: AabbSoa<Fx>,
+    /// Per-node box, pure chain (what the entry boxes subdivide).
+    node_aabbs: Vec<AabbF>,
+    /// Per-node box, OOCD chain: the *dequantized* parent the hardware
+    /// model subdivides at this node.
+    node_aabbs_oocd: Vec<AabbF>,
+}
+
+impl FlatOctree {
+    /// Flattens a BFS-ordered node array over the given root box.
+    pub(crate) fn build(nodes: &[Node], root: AabbF) -> FlatOctree {
+        let n = nodes.len();
+        let mut flat = FlatOctree {
+            entry_start: Vec::with_capacity(n + 1),
+            octants: Vec::new(),
+            full: Vec::new(),
+            children: Vec::new(),
+            aabbs: AabbSoa::new(),
+            aabbs_oocd: AabbSoa::new(),
+            node_aabbs: vec![root; n],
+            node_aabbs_oocd: vec![root; n],
+        };
+        for (idx, node) in nodes.iter().enumerate() {
+            flat.entry_start.push(flat.octants.len() as u32);
+            let parent = flat.node_aabbs[idx];
+            let parent_oocd = flat.node_aabbs_oocd[idx];
+            for octant in 0..8 {
+                let occ = node.occupancy(octant);
+                if !occ.is_occupied() {
+                    continue;
+                }
+                let oct = Octree::octant_aabb(&parent, octant);
+                let oct_fx = Octree::octant_aabb(&parent_oocd, octant).quantize();
+                flat.octants.push(octant as u8);
+                flat.full.push(occ == Occupancy::Full);
+                flat.aabbs.push(&oct);
+                flat.aabbs_oocd.push(&oct_fx);
+                if occ == Occupancy::Partial {
+                    let child = node
+                        .child_address(octant)
+                        .expect("partial octant must have a child");
+                    flat.children.push(child);
+                    flat.node_aabbs[child as usize] = oct;
+                    flat.node_aabbs_oocd[child as usize] = oct_fx.to_f32();
+                } else {
+                    flat.children.push(NO_CHILD);
+                }
+            }
+        }
+        flat.entry_start.push(flat.octants.len() as u32);
+        flat
+    }
+
+    /// Total entries (occupied octants) in the arena.
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.octants.len()
+    }
+
+    /// The entry range of node `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn entries(&self, addr: u32) -> core::ops::Range<usize> {
+        let a = addr as usize;
+        self.entry_start[a] as usize..self.entry_start[a + 1] as usize
+    }
+
+    /// The octant id (0–7) of entry `e`.
+    #[inline]
+    pub fn octant(&self, e: usize) -> u8 {
+        self.octants[e]
+    }
+
+    /// Whether entry `e` is fully occupied (else partially).
+    #[inline]
+    pub fn is_full(&self, e: usize) -> bool {
+        self.full[e]
+    }
+
+    /// The child node address of a partial entry ([`NO_CHILD`] for full).
+    #[inline]
+    pub fn child(&self, e: usize) -> u32 {
+        self.children[e]
+    }
+
+    /// All entry AABBs of the pure `f32` chain, in SoA layout.
+    #[inline]
+    pub fn aabbs(&self) -> &AabbSoa<f32> {
+        &self.aabbs
+    }
+
+    /// All entry AABBs of the OOCD quantize-roundtrip chain, in SoA layout.
+    #[inline]
+    pub fn aabbs_oocd(&self) -> &AabbSoa<Fx> {
+        &self.aabbs_oocd
+    }
+
+    /// Entry `e`'s box of the pure chain, reconstructed (bit-identical to
+    /// what `Octree::octant_aabb` produces along the same path).
+    #[inline]
+    pub fn aabb(&self, e: usize) -> AabbF {
+        self.aabbs.get(e)
+    }
+
+    /// Node `addr`'s box of the pure chain.
+    #[inline]
+    pub fn node_aabb(&self, addr: u32) -> AabbF {
+        self.node_aabbs[addr as usize]
+    }
+
+    /// Node `addr`'s *dequantized* parent box of the OOCD chain — what the
+    /// hardware model subdivides when visiting the node.
+    #[inline]
+    pub fn node_aabb_oocd(&self, addr: u32) -> AabbF {
+        self.node_aabbs_oocd[addr as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_geometry::{Aabb, Vec3};
+
+    fn sample_tree() -> Octree {
+        let obs = [
+            Aabb::new(Vec3::new(0.5, 0.5, 0.5), Vec3::splat(0.08)),
+            Aabb::new(Vec3::new(-0.4, 0.1, -0.2), Vec3::splat(0.11)),
+        ];
+        Octree::build(&obs, 4)
+    }
+
+    #[test]
+    fn entries_mirror_nodes_exactly() {
+        let t = sample_tree();
+        let flat = t.flat();
+        assert_eq!(flat.entry_start.len(), t.node_count() + 1);
+        for addr in 0..t.node_count() as u32 {
+            let node = t.node(addr);
+            let range = flat.entries(addr);
+            let occupied: Vec<usize> = (0..8)
+                .filter(|&o| node.occupancy(o).is_occupied())
+                .collect();
+            assert_eq!(range.len(), occupied.len());
+            for (e, &octant) in range.clone().zip(occupied.iter()) {
+                assert_eq!(flat.octant(e) as usize, octant);
+                assert_eq!(flat.is_full(e), node.occupancy(octant) == Occupancy::Full);
+                if flat.is_full(e) {
+                    assert_eq!(flat.child(e), NO_CHILD);
+                } else {
+                    assert_eq!(Some(flat.child(e)), node.child_address(octant));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pure_chain_matches_on_the_fly_subdivision() {
+        let t = sample_tree();
+        let flat = t.flat();
+        // Walk like collides_with does and compare boxes bit-for-bit.
+        let mut stack = vec![(0u32, t.root_aabb())];
+        while let Some((addr, parent)) = stack.pop() {
+            assert_eq!(flat.node_aabb(addr), parent);
+            for e in flat.entries(addr) {
+                let want = Octree::octant_aabb(&parent, flat.octant(e) as usize);
+                assert_eq!(flat.aabb(e), want, "entry {e}");
+                if !flat.is_full(e) {
+                    stack.push((flat.child(e), want));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oocd_chain_matches_quantize_roundtrip_subdivision() {
+        let t = sample_tree();
+        let flat = t.flat();
+        // Walk like run_oocd does: quantize each level, subdivide the
+        // dequantized box.
+        let mut stack = vec![(0u32, t.root_aabb())];
+        while let Some((addr, parent)) = stack.pop() {
+            assert_eq!(flat.node_aabb_oocd(addr), parent);
+            for e in flat.entries(addr) {
+                let want = Octree::octant_aabb(&parent, flat.octant(e) as usize).quantize();
+                let got = flat.aabbs_oocd().get(e);
+                assert_eq!((got.center, got.half), (want.center, want.half));
+                if !flat.is_full(e) {
+                    stack.push((flat.child(e), want.to_f32()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_has_no_entries() {
+        let t = Octree::build(&[], 3);
+        let flat = t.flat();
+        assert_eq!(flat.entry_count(), 0);
+        assert_eq!(flat.entries(0), 0..0);
+    }
+}

@@ -28,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flat;
 pub mod node;
 pub mod octree;
 pub mod scene;
 pub mod voxel;
 
+pub use flat::FlatOctree;
 pub use node::{Node, Occupancy};
 pub use octree::{Octree, TraversalStats};
 pub use scene::{benchmark_scenes, Scene, SceneConfig};

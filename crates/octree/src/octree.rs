@@ -2,9 +2,11 @@
 
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use mp_geometry::{AabbF, Vec3};
 
+use crate::flat::FlatOctree;
 use crate::node::{Node, Occupancy, PackNodeError};
 
 thread_local! {
@@ -12,8 +14,9 @@ thread_local! {
     // of times per benchmark; taking the buffer out of the cell (and
     // putting it back after the walk) keeps the hot path allocation-free
     // while staying safe under reentrancy — a nested query simply finds an
-    // empty cell and allocates its own stack.
-    static TRAVERSAL_STACK: Cell<Vec<(u32, AabbF)>> = const { Cell::new(Vec::new()) };
+    // empty cell and allocates its own stack. Octant boxes come from the
+    // flat arena now, so the stack holds bare node addresses.
+    static TRAVERSAL_STACK: Cell<Vec<u32>> = const { Cell::new(Vec::new()) };
 }
 
 /// Maximum tree depth the builder accepts (leaf size = extent / 2^depth).
@@ -51,6 +54,11 @@ pub struct Octree {
     nodes: Vec<Node>,
     root: AabbF,
     max_depth: u32,
+    // Deterministic function of (nodes, root), rebuilt by the constructors —
+    // derived Clone/PartialEq stay consistent. Behind an Arc because trees
+    // are cloned per checker throughout the benchmarks and the arena is by
+    // far the largest part of the struct.
+    flat: Arc<FlatOctree>,
 }
 
 impl Octree {
@@ -111,11 +119,20 @@ impl Octree {
             nodes[idx] = node;
         }
 
+        let flat = Arc::new(FlatOctree::build(&nodes, root));
         Octree {
             nodes,
             root,
             max_depth,
+            flat,
         }
+    }
+
+    /// The flattened arena mirror of this tree (entry ranges, precomputed
+    /// octant boxes in SoA layout — see [`crate::flat`]).
+    #[inline]
+    pub fn flat(&self) -> &FlatOctree {
+        &self.flat
     }
 
     /// The AABB of octant `i` (0–7) of a parent box. Bit 0 selects the +x
@@ -214,37 +231,24 @@ impl Octree {
         let mut stats = TraversalStats::default();
         let mut stack = TRAVERSAL_STACK.with(Cell::take);
         stack.clear();
-        stack.push((0u32, self.root));
+        stack.push(0u32);
         let mut hit = false;
-        'walk: while let Some((addr, aabb)) = stack.pop() {
+        let flat = &self.flat;
+        'walk: while let Some(addr) = stack.pop() {
             stats.nodes_visited += 1;
-            let node = &self.nodes[addr as usize];
-            for octant in 0..8 {
-                let occ = node.occupancy(octant);
-                if !occ.is_occupied() {
-                    continue;
-                }
-                let oct_aabb = Octree::octant_aabb(&aabb, octant);
+            for e in flat.entries(addr) {
+                // Precomputed in the arena — bit-identical to the
+                // `octant_aabb` chain the on-the-fly walk used to compute.
+                let oct_aabb = flat.aabb(e);
                 stats.tests_performed += 1;
                 if !overlaps_octant(&oct_aabb) {
                     continue;
                 }
-                match occ {
-                    Occupancy::Full => {
-                        hit = true;
-                        break 'walk;
-                    }
-                    Occupancy::Partial => {
-                        // Builder invariant: `build_in` allocates a child
-                        // node for every octant it marks Partial, so the
-                        // address is always present on a built tree.
-                        let child = node
-                            .child_address(octant)
-                            .expect("partial octant must have a child");
-                        stack.push((child, oct_aabb));
-                    }
-                    Occupancy::Empty => unreachable!(),
+                if flat.is_full(e) {
+                    hit = true;
+                    break 'walk;
                 }
+                stack.push(flat.child(e));
             }
         }
         stack.clear();
@@ -320,10 +324,12 @@ impl Octree {
             }
             nodes[new_idx] = node;
         }
+        let flat = Arc::new(FlatOctree::build(&nodes, self.root));
         Octree {
             nodes,
             root: self.root,
             max_depth,
+            flat,
         }
     }
 

@@ -1,6 +1,7 @@
 //! Dense voxel grids — the alternative environment representation used by
 //! the CODAcc-style comparison (§7.2.2) and as a rasterization utility.
 
+use mp_geometry::soa::{sat_overlaps_hoisted, SatConsts};
 use mp_geometry::{AabbF, Obb, Vec3};
 
 /// A dense occupancy grid over a cubic region, one bit per voxel.
@@ -179,11 +180,14 @@ impl VoxelGrid {
         let Some(range) = self.index_range(&obb.enclosing_aabb()) else {
             return out;
         };
+        // The OBB side of the 15 axis tests is sweep-invariant; hoist it
+        // once (verdicts stay bit-identical to per-pair `sat::overlaps`).
+        let consts = SatConsts::new(obb);
         for iz in range.2.clone() {
             for iy in range.1.clone() {
                 for ix in range.0.clone() {
                     let v = self.voxel_aabb(ix, iy, iz);
-                    if mp_geometry::sat::overlaps(obb, &v) {
+                    if sat_overlaps_hoisted(&consts, obb.center, &v) {
                         out.push((ix, iy, iz));
                     }
                 }

@@ -82,11 +82,12 @@ impl Dense {
         }
     }
 
-    /// Forward pass.
+    /// Forward pass, allocating the output vector.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != inputs`.
+    #[deprecated(note = "allocates per call; use `forward_into` with a reused buffer")]
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.outputs);
         self.forward_into(x, &mut out);
@@ -140,7 +141,8 @@ pub struct MlpScratch {
 /// use mp_planner::nn::{Activation, Mlp};
 ///
 /// let mlp = Mlp::new(&[4, 16, 2], Activation::Tanh, 42);
-/// let y = mlp.forward(&[0.1, -0.2, 0.3, 0.4]);
+/// let mut scratch = mp_planner::nn::MlpScratch::default();
+/// let y = mlp.forward_scratch(&[0.1, -0.2, 0.3, 0.4], &mut scratch);
 /// assert_eq!(y.len(), 2);
 /// ```
 #[derive(Clone, Debug, PartialEq)]
@@ -176,11 +178,12 @@ impl Mlp {
         Mlp { layers }
     }
 
-    /// Forward inference.
+    /// Forward inference, allocating fresh buffers per call.
     ///
     /// # Panics
     ///
     /// Panics if the input size does not match the first layer.
+    #[deprecated(note = "allocates per call; use `forward_scratch` with a reused `MlpScratch`")]
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
         self.forward_scratch(x, &mut MlpScratch::default()).to_vec()
     }
@@ -239,9 +242,10 @@ impl Mlp {
     /// Panics if the dataset is empty or shapes mismatch.
     pub fn mse(&self, data: &[(Vec<f32>, Vec<f32>)]) -> f32 {
         assert!(!data.is_empty(), "empty dataset");
+        let mut scratch = MlpScratch::default();
         let mut total = 0.0;
         for (x, t) in data {
-            let y = self.forward(x);
+            let y = self.forward_scratch(x, &mut scratch);
             assert_eq!(y.len(), t.len(), "target size mismatch");
             total += y.iter().zip(t).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / t.len() as f32;
         }
@@ -267,7 +271,8 @@ impl Mlp {
             let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len() + 1);
             let mut cur = x.clone();
             for layer in &self.layers {
-                let next = layer.forward(&cur);
+                let mut next = Vec::with_capacity(layer.outputs);
+                layer.forward_into(&cur, &mut next);
                 acts.push(std::mem::replace(&mut cur, next));
             }
             acts.push(cur);
@@ -327,10 +332,12 @@ mod tests {
         assert_eq!(mlp.output_size(), 4);
         assert_eq!(mlp.macs(), (8 * 32 + 32 * 16 + 16 * 4) as u64);
         assert_eq!(mlp.param_count(), 8 * 32 + 32 + 32 * 16 + 16 + 16 * 4 + 4);
-        assert_eq!(mlp.forward(&[0.0; 8]).len(), 4);
+        let mut scratch = MlpScratch::default();
+        assert_eq!(mlp.forward_scratch(&[0.0; 8], &mut scratch).len(), 4);
     }
 
     #[test]
+    #[allow(deprecated)] // the allocating path is the reference under test
     fn scratch_inference_matches_allocating_forward() {
         let mlp = Mlp::new(&[6, 24, 12, 3], Activation::Tanh, 21);
         let mut scratch = MlpScratch::default();
@@ -349,8 +356,12 @@ mod tests {
         let b = Mlp::new(&[4, 8, 2], Activation::Tanh, 7);
         let c = Mlp::new(&[4, 8, 2], Activation::Tanh, 8);
         let x = [0.3, -0.1, 0.9, 0.5];
-        assert_eq!(a.forward(&x), b.forward(&x));
-        assert_ne!(a.forward(&x), c.forward(&x));
+        let mut s = MlpScratch::default();
+        let ya = a.forward_scratch(&x, &mut s).to_vec();
+        let yb = b.forward_scratch(&x, &mut s).to_vec();
+        let yc = c.forward_scratch(&x, &mut s).to_vec();
+        assert_eq!(ya, yb);
+        assert_ne!(ya, yc);
     }
 
     #[test]
@@ -407,7 +418,7 @@ mod tests {
     #[should_panic(expected = "input size mismatch")]
     fn wrong_input_size_panics() {
         let mlp = Mlp::new(&[3, 2], Activation::Relu, 0);
-        let _ = mlp.forward(&[1.0, 2.0]);
+        let _ = mlp.forward_scratch(&[1.0, 2.0], &mut MlpScratch::default());
     }
 
     #[test]
