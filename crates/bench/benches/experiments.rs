@@ -197,9 +197,52 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// Overhead guard for the telemetry layer: the collision hot loop timed
+/// with no sink installed versus a sink installed but sampling disabled
+/// (`sample_every: 0`, the always-on production setting for hot kernels).
+///
+/// In the default build the two are identical by construction — the span
+/// call sites are compiled out without `--features telemetry`. Run
+/// `cargo bench -p mp-bench --features telemetry -- telemetry_overhead`
+/// to measure the armed-but-unsampled cost; EXPERIMENTS.md records the
+/// expected numbers.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use mp_collision::{CollisionChecker, SoftwareChecker};
+    use mp_octree::{Scene, SceneConfig};
+    use mp_robot::RobotModel;
+    use mp_telemetry::{SinkConfig, TelemetrySession};
+
+    let robot = RobotModel::jaco2();
+    let tree = Scene::random(SceneConfig::paper(), 0).octree();
+    let mut checker = SoftwareChecker::new(robot.clone(), tree);
+    let mut pose = robot.home();
+    pose.as_mut_slice()[0] += 0.4;
+    pose.as_mut_slice()[2] -= 0.3;
+
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.bench_function("check_pose_telemetry_off", |b| {
+        b.iter(|| black_box(checker.check_pose(black_box(&pose))))
+    });
+    g.bench_function("check_pose_telemetry_unsampled", |b| {
+        let session = TelemetrySession::with_config(SinkConfig {
+            sample_every: 0,
+            ..SinkConfig::default()
+        });
+        let _guard = session.install("bench", 0);
+        b.iter(|| black_box(checker.check_pose(black_box(&pose))))
+    });
+    g.bench_function("check_pose_telemetry_sampled", |b| {
+        let session = TelemetrySession::new();
+        let _guard = session.install("bench", 0);
+        b.iter(|| black_box(checker.check_pose(black_box(&pose))))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernels,
+    bench_telemetry_overhead,
     bench_table2,
     bench_fig01b,
     bench_fig07,

@@ -3,37 +3,63 @@
 //!
 //! ```text
 //! cargo run -p mp-bench --release --bin soak [-- --out FILE] [--csv FILE]
+//!     [--trace FILE] [--flight FILE] [--metrics FILE]
 //! ```
 //!
 //! Prints the report to stdout; `--out` additionally writes the text
 //! report and `--csv` the CSV table. Set `MPACCEL_BENCH_SCALE=full` for
 //! paper-scale workloads and `MPACCEL_THREADS` for the catalog-build pool
 //! width (the report is byte-identical at any width).
+//!
+//! The telemetry flags run one extra fully-instrumented capture (catalog
+//! build + overloaded/faulted service run + accelerator trace replay):
+//!
+//! * `--trace FILE` — Chrome trace-event JSON (open in Perfetto or
+//!   `chrome://tracing`); validated before it is written.
+//! * `--flight FILE` — flight-recorder snapshots: the spans leading up to
+//!   each deadline miss / shed / quarantine incident.
+//! * `--metrics FILE` — unified metrics registry dump (text table, or CSV
+//!   when the path ends in `.csv`).
+//!
+//! Build with `--features telemetry` to also include the hot-kernel spans
+//! (per-pose collision queries, OOCD traversals, SAS CDU lanes).
 
 use std::process::ExitCode;
+
+fn write_file(what: &str, path: &str, content: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, content).map_err(|e| {
+        eprintln!("soak: cannot write {what} to `{path}`: {e}");
+        ExitCode::FAILURE
+    })
+}
 
 fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut csv: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut flight: Option<String> = None;
+    let mut metrics: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out" => match args.next() {
-                Some(path) => out = Some(path),
-                None => {
-                    eprintln!("soak: --out requires a file path");
+        let flag = arg.as_str();
+        match flag {
+            "--out" | "--csv" | "--trace" | "--flight" | "--metrics" => {
+                let Some(path) = args.next() else {
+                    eprintln!("soak: {flag} requires a file path");
                     return ExitCode::from(2);
+                };
+                match flag {
+                    "--out" => out = Some(path),
+                    "--csv" => csv = Some(path),
+                    "--trace" => trace = Some(path),
+                    "--flight" => flight = Some(path),
+                    _ => metrics = Some(path),
                 }
-            },
-            "--csv" => match args.next() {
-                Some(path) => csv = Some(path),
-                None => {
-                    eprintln!("soak: --csv requires a file path");
-                    return ExitCode::from(2);
-                }
-            },
+            }
             "--help" | "-h" => {
-                println!("usage: soak [--out FILE] [--csv FILE]");
+                println!(
+                    "usage: soak [--out FILE] [--csv FILE] [--trace FILE] [--flight FILE] [--metrics FILE]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -46,16 +72,60 @@ fn main() -> ExitCode {
     let scale = mp_bench::Scale::from_env();
     let report = mp_bench::experiments::soak::run(scale);
     println!("{report}");
-    if let Some(path) = out {
-        if let Err(e) = std::fs::write(&path, report.to_string()) {
-            eprintln!("soak: cannot write report to `{path}`: {e}");
-            return ExitCode::FAILURE;
-        }
+    let write = |what: &str, path: &Option<String>, content: &dyn Fn() -> String| match path {
+        Some(p) => write_file(what, p, &content()),
+        None => Ok(()),
+    };
+    if let Err(code) = write("report", &out, &|| report.to_string())
+        .and_then(|()| write("CSV", &csv, &|| report.to_csv()))
+    {
+        return code;
     }
-    if let Some(path) = csv {
-        if let Err(e) = std::fs::write(&path, report.to_csv()) {
-            eprintln!("soak: cannot write CSV to `{path}`: {e}");
-            return ExitCode::FAILURE;
+
+    if trace.is_some() || flight.is_some() || metrics.is_some() {
+        use mp_bench::experiments::soak::{capture_trace, metrics_registry};
+        let pool = threadpool::ThreadPool::from_env();
+        let (session, summary) = capture_trace(scale, &pool);
+        let streams = session.streams();
+        if let Some(path) = &trace {
+            let json = mp_telemetry::chrome_trace_json(&streams);
+            if let Err(e) = mp_telemetry::validate_json(&json) {
+                eprintln!("soak: generated trace JSON is invalid: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(code) = write_file("trace", path, &json) {
+                return code;
+            }
+            let events: usize = streams.iter().map(|s| s.events.len()).sum();
+            eprintln!(
+                "soak: wrote {events} events across {} streams to `{path}` (open in https://ui.perfetto.dev)",
+                streams.len()
+            );
+        }
+        if let Some(path) = &flight {
+            if let Err(code) = write_file(
+                "flight report",
+                path,
+                &mp_telemetry::flight_report(&streams),
+            ) {
+                return code;
+            }
+            eprintln!(
+                "soak: wrote flight recorder ({} incidents seen) to `{path}`",
+                session.incidents_seen()
+            );
+        }
+        if let Some(path) = &metrics {
+            let reg = metrics_registry(&summary);
+            let dump = if path.ends_with(".csv") {
+                reg.to_csv()
+            } else {
+                reg.render_text()
+            };
+            if let Err(code) = write_file("metrics", path, &dump) {
+                return code;
+            }
+            eprintln!("soak: wrote {} metrics to `{path}`", reg.len());
         }
     }
     ExitCode::SUCCESS

@@ -1,8 +1,34 @@
 //! Regenerates the paper's table3 evaluation artifact.
-//! Usage: `cargo run -p mp-bench --release --bin table3`
+//! Usage: `cargo run -p mp-bench --release --bin table3 [-- --timings]`
 //! (set `MPACCEL_BENCH_SCALE=full` for paper-scale workloads).
+//!
+//! `--timings` additionally prints the host per-query wall-clock
+//! distribution (mean/p50/p99/p999 from the telemetry histogram behind
+//! the ground-truth row). Real wall clock varies run to run, so the dump
+//! is opt-in and kept out of the deterministic report.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut timings = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--timings" => timings = true,
+            "--help" | "-h" => {
+                println!("usage: table3 [--timings]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("table3: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let scale = mp_bench::Scale::from_env();
-    println!("{}", mp_bench::experiments::table3::run(scale));
+    let d = mp_bench::experiments::table3::data(scale);
+    println!("{}", mp_bench::experiments::table3::render(&d));
+    if timings {
+        println!("{}", mp_bench::experiments::table3::timings(&d));
+    }
+    ExitCode::SUCCESS
 }

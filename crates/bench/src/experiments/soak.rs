@@ -21,15 +21,17 @@ use mp_octree::{benchmark_scenes, Scene};
 use mp_planner::QualityTier;
 use mp_robot::RobotModel;
 use mp_service::{
-    run_service, DegradeConfig, FaultProfile, PlanCatalog, QueuePolicy, ServiceConfig,
-    ServiceSummary, TenantSpec,
+    run_service, run_service_traced, DegradeConfig, FaultProfile, PlanCatalog, QueuePolicy,
+    ServiceConfig, ServiceSummary, TenantSpec,
 };
 use mp_sim::arrival::{ArrivalKind, ArrivalProcess};
 use mp_sim::vtime::VirtualNs;
+use mp_telemetry::TelemetrySession;
+use mpaccel_core::mpaccel::{MpAccelSystem, SystemConfig};
 use threadpool::ThreadPool;
 
 use crate::report::{f3, Report};
-use crate::workloads::Scale;
+use crate::workloads::{BenchWorkload, Scale};
 
 /// Offered-load multipliers, relative to the pool's full-quality
 /// saturating rate.
@@ -248,6 +250,65 @@ pub fn run(scale: Scale) -> Report {
 pub fn run_with_pool(scale: Scale, pool: &ThreadPool) -> Report {
     let catalog = build_catalog(scale, pool);
     render(&sweep(&catalog, scale), &catalog)
+}
+
+/// Captures one fully-instrumented soak run into a telemetry session:
+///
+/// 1. the catalog build (planner + collision spans, one `("catalog", i)`
+///    stream per scene),
+/// 2. an overloaded *and* faulted service run at 2× the saturating rate
+///    under the defended policy (`("service", 0)` stream — deadline
+///    misses, sheds, and quarantines all leave flight-recorder
+///    incidents),
+/// 3. a trace replay of two catalog workload queries through the full
+///    [`MpAccelSystem`] hardware model (`("accel", i)` streams — SAS
+///    batch / CDU-lane / OOCD spans).
+///
+/// Returns the session plus the service run's summary. The capture is
+/// deterministic: streams are labelled, the service loop is
+/// single-threaded, and the replay runs on the calling thread, so the
+/// exported Chrome trace is byte-identical at any pool width.
+pub fn capture_trace(scale: Scale, pool: &ThreadPool) -> (TelemetrySession, ServiceSummary) {
+    let session = TelemetrySession::new();
+    let (scenes, queries) = catalog_shape(scale);
+    let scenes: Vec<Scene> = benchmark_scenes().into_iter().take(scenes).collect();
+    let robot = RobotModel::jaco2();
+    let catalog = PlanCatalog::build_traced(&robot, &scenes, queries, 11, pool, &session)
+        .expect("benchmark scenes yield valid soak catalogs");
+
+    let sat = catalog.saturating_rate_per_s(INSTANCES);
+    let cfg = ServiceConfig {
+        instances: INSTANCES,
+        faults: FaultProfile::with_lemon(FAULT_RATES[1], 0, 10.0),
+        seed: 7,
+        ..ServiceConfig::default()
+    };
+    let summary = run_service_traced(
+        &catalog,
+        &tenants(&catalog, 2.0 * sat),
+        duration_ns(scale),
+        &cfg,
+        &session,
+        0,
+    );
+
+    let w = BenchWorkload::cached(robot.clone(), scale);
+    for (i, (si, trace)) in w.traces.iter().take(2).enumerate() {
+        let _stream = session.install("accel", i as u32);
+        let sys = MpAccelSystem::new(robot.clone(), w.octree(*si), SystemConfig::paper_default());
+        std::hint::black_box(sys.run_trace(trace));
+    }
+    (session, summary)
+}
+
+/// Builds the unified metrics registry for a captured run: the service
+/// summary (counters, gauges, exact-percentile latency histogram) plus
+/// the process-wide collision counters.
+pub fn metrics_registry(summary: &ServiceSummary) -> mp_telemetry::Registry {
+    let reg = mp_telemetry::Registry::new();
+    summary.export_into("service", &reg);
+    mp_collision::metrics::export_into(&reg);
+    reg
 }
 
 #[cfg(test)]

@@ -35,6 +35,10 @@ pub struct Table3Data {
     /// OBB–octree queries (extrapolated from a smaller timed run) — the one
     /// genuinely empirical row of the table.
     pub host_measured_ms: f64,
+    /// Per-query wall-clock nanoseconds behind [`Table3Data::host_measured_ms`],
+    /// as a log-bucketed histogram with exact percentiles (`--timings` on
+    /// the `table3` binary prints mean/p50/p99 from it).
+    pub host_hist: mp_telemetry::HistSnapshot,
 }
 
 /// Paper values for side-by-side display: `(platform, basic, opt, leaf,
@@ -196,8 +200,9 @@ pub fn data(scale: Scale) -> Table3Data {
     };
 
     // Real measurement on this host: time a batch of software OBB–octree
-    // queries and extrapolate to 2^20 (single thread).
-    let host_measured_ms = {
+    // queries per query into a telemetry histogram and extrapolate the
+    // mean to 2^20 (single thread).
+    let (host_measured_ms, host_hist) = {
         let tree = scenes[0].octree();
         let mut rng = StdRng::seed_from_u64(3);
         let obbs: Vec<_> = (0..2048).map(|_| random_link_obb(&mut rng)).collect();
@@ -205,12 +210,14 @@ pub fn data(scale: Scale) -> Table3Data {
         for o in obbs.iter().take(256) {
             std::hint::black_box(tree.collides_with(|a| mp_geometry::sat::overlaps(o, a)));
         }
-        let t0 = std::time::Instant::now();
+        let mut hist = mp_telemetry::HistSnapshot::new();
         for o in &obbs {
+            let t0 = std::time::Instant::now();
             std::hint::black_box(tree.collides_with(|a| mp_geometry::sat::overlaps(o, a)));
+            hist.observe(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
         }
-        let per_query = t0.elapsed().as_secs_f64() / obbs.len() as f64;
-        per_query * QUERIES as f64 * 1e3
+        let per_query_ns = hist.mean().unwrap_or(0.0);
+        (per_query_ns * QUERIES as f64 / 1e6, hist)
     };
 
     Table3Data {
@@ -220,12 +227,35 @@ pub fn data(scale: Scale) -> Table3Data {
         mp_rows,
         mpaccel_mp_ms,
         host_measured_ms,
+        host_hist,
     }
+}
+
+/// Renders the host per-query timing distribution (real wall clock, so
+/// never part of the deterministic report; the `table3` binary prints it
+/// under `--timings`).
+pub fn timings(d: &Table3Data) -> String {
+    let h = &d.host_hist;
+    let ns = |q| h.percentile(q).unwrap_or(0);
+    format!(
+        "host OBB-octree query wall clock ({} samples): mean={:.0}ns p50={}ns p99={}ns p999={}ns -> {:.0} ms extrapolated to 2^20 queries",
+        h.count(),
+        h.mean().unwrap_or(0.0),
+        ns(0.50),
+        ns(0.99),
+        ns(0.999),
+        d.host_measured_ms
+    )
 }
 
 /// Renders Table 3 with paper values side by side.
 pub fn run(scale: Scale) -> Report {
-    let d = data(scale);
+    render(&data(scale))
+}
+
+/// Renders already-computed [`Table3Data`] (the binary reuses one
+/// computation for the report and the `--timings` dump).
+pub fn render(d: &Table3Data) -> Report {
     let mut r = Report::new(
         "Table 3: collision detection (2^20 OBB-octree queries) and motion planning runtime",
     );

@@ -55,3 +55,19 @@ fn soak_report_is_byte_identical_at_one_and_eight_threads() {
     let eight = soak::run_with_pool(Scale::Quick, &ThreadPool::new(8)).to_string();
     assert_eq!(one, eight, "soak report differs between 1 and 8 threads");
 }
+
+#[test]
+fn chrome_trace_is_byte_identical_at_one_and_eight_threads() {
+    // The telemetry contract: the exported Perfetto trace itself must be
+    // byte-identical whatever the catalog-build pool width. Labelled
+    // streams + monotone per-stream cursors + sorted export make this
+    // hold even though scene planning lands on arbitrary worker threads.
+    let json = |threads| {
+        let (session, _) = soak::capture_trace(Scale::Quick, &ThreadPool::new(threads));
+        mp_telemetry::chrome_trace_json(&session.streams())
+    };
+    let one = json(1);
+    let eight = json(8);
+    assert!(!one.is_empty());
+    assert_eq!(one, eight, "trace JSON differs between 1 and 8 threads");
+}

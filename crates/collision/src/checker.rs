@@ -32,6 +32,16 @@ impl CdStats {
         self.nodes_visited += other.nodes_visited;
         self.mults += other.mults;
     }
+
+    /// Exports the counters into a telemetry registry under
+    /// `<prefix>.<field>` names.
+    pub fn export_into(&self, prefix: &str, registry: &mp_telemetry::Registry) {
+        registry.set_counter(&format!("{prefix}.pose_queries"), self.pose_queries);
+        registry.set_counter(&format!("{prefix}.link_tests"), self.link_tests);
+        registry.set_counter(&format!("{prefix}.box_tests"), self.box_tests);
+        registry.set_counter(&format!("{prefix}.nodes_visited"), self.nodes_visited);
+        registry.set_counter(&format!("{prefix}.mults"), self.mults);
+    }
 }
 
 /// Anything that can answer "does the robot collide in this pose?".
@@ -125,6 +135,13 @@ impl CollisionChecker for SoftwareChecker {
         assert_eq!(cfg.dof(), self.robot.dof(), "configuration DOF mismatch");
         self.stats.pose_queries += 1;
         crate::metrics::record_pose_checks(1);
+        // Hot path: the sampled query span only exists under the
+        // `telemetry` feature so the default build keeps this kernel free
+        // of instrumentation instructions.
+        #[cfg(feature = "telemetry")]
+        let tele_span = mp_telemetry::sampled_span("collision", "cd_query");
+        #[cfg(feature = "telemetry")]
+        let tele_box_tests_before = self.stats.box_tests;
         let mut frames = std::mem::take(&mut self.frame_buf);
         let mut obbs = std::mem::take(&mut self.obb_buf);
         let mut stack = std::mem::take(&mut self.stack_buf);
@@ -178,6 +195,18 @@ impl CollisionChecker for SoftwareChecker {
         self.stack_buf = stack;
         self.scratch = scratch;
         self.outcome_buf = outcomes;
+        #[cfg(feature = "telemetry")]
+        {
+            let box_tests = self.stats.box_tests - tele_box_tests_before;
+            tele_span.end_with(|| {
+                mp_telemetry::arg2(
+                    "colliding",
+                    mp_telemetry::ArgValue::U64(colliding as u64),
+                    "box_tests",
+                    mp_telemetry::ArgValue::U64(box_tests),
+                )
+            });
+        }
         colliding
     }
 

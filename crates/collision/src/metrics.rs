@@ -7,22 +7,31 @@
 //! cost of the query itself), and the total is deterministic for a given
 //! workload: only the interleaving of increments varies across thread
 //! counts, never the sum.
+//!
+//! The storage is an `mp_telemetry::Counter` (the unified metrics layer);
+//! [`record_pose_checks`] / [`pose_checks_total`] remain as thin shims so
+//! existing call sites keep working unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mp_telemetry::Counter;
 
-static CD_POSE_CHECKS: AtomicU64 = AtomicU64::new(0);
+static CD_POSE_CHECKS: Counter = Counter::new();
 
 /// Records `n` pose-level collision checks.
 #[inline]
 pub fn record_pose_checks(n: u64) {
-    CD_POSE_CHECKS.fetch_add(n, Ordering::Relaxed);
+    CD_POSE_CHECKS.add(n);
 }
 
 /// Total pose-level collision checks recorded by this process so far.
 ///
 /// Take a snapshot before and after a region to attribute checks to it.
 pub fn pose_checks_total() -> u64 {
-    CD_POSE_CHECKS.load(Ordering::Relaxed)
+    CD_POSE_CHECKS.get()
+}
+
+/// Exports the process-wide counters into a telemetry registry.
+pub fn export_into(registry: &mp_telemetry::Registry) {
+    registry.set_counter("collision.pose_checks_total", pose_checks_total());
 }
 
 #[cfg(test)]
@@ -37,5 +46,13 @@ mod tests {
         // Other tests may run concurrently and bump the counter too, so
         // assert a lower bound only.
         assert!(pose_checks_total() >= before + 5);
+    }
+
+    #[test]
+    fn export_lands_in_registry() {
+        record_pose_checks(1);
+        let r = mp_telemetry::Registry::new();
+        export_into(&r);
+        assert!(r.counter_value("collision.pose_checks_total").unwrap() >= 1);
     }
 }

@@ -127,6 +127,8 @@ impl CecduSim {
     pub fn check_pose(&self, pose: &JointConfig) -> CecduResult {
         assert_eq!(pose.dof(), self.robot.dof(), "configuration DOF mismatch");
         mp_collision::metrics::record_pose_checks(1);
+        #[cfg(feature = "telemetry")]
+        let tele_span = mp_telemetry::sampled_span("core", "cecdu_pose");
         let obbs = link_obbs(&self.robot, pose, self.trig);
         let oocd_cfg = OocdConfig {
             iu: self.config.iu,
@@ -171,6 +173,15 @@ impl CecduSim {
         }
         // +1 cycle for the Result Collector to report back.
         ops.cd_queries += 1;
+        #[cfg(feature = "telemetry")]
+        tele_span.end_with(|| {
+            mp_telemetry::arg2(
+                "links",
+                mp_telemetry::ArgValue::U64(links_checked as u64),
+                "colliding",
+                mp_telemetry::ArgValue::U64(colliding as u64),
+            )
+        });
         CecduResult {
             colliding,
             cycles: t + 1,

@@ -154,6 +154,16 @@ impl MpAccelSystem {
     /// Replays a planner trace against the hardware models and returns the
     /// timing/energy report.
     pub fn run_trace(&self, trace: &PlannerTrace) -> RunReport {
+        // Cold per-trace span: always compiled (a trace replay is not a hot
+        // kernel), no-op unless a telemetry sink is installed.
+        let tele_span = mp_telemetry::span_args(
+            "core",
+            "run_trace",
+            mp_telemetry::arg1(
+                "events",
+                mp_telemetry::ArgValue::U64(trace.events.len() as u64),
+            ),
+        );
         let clock = self.config.accel.cecdu.iu.clock();
         let mut report = RunReport::default();
 
@@ -194,6 +204,14 @@ impl MpAccelSystem {
         report.total_ms = report.nn_ms + report.cd_ms + report.controller_ms + report.bus_ms;
         report.accel_energy_mj = self.config.accel.area_power().power_w * report.cd_ms; // mJ = W × ms
         report.datapath_energy_uj = mp_sim::energy::dynamic_energy_uj(&report.ops);
+        tele_span.end_with(|| {
+            mp_telemetry::arg2(
+                "cd_cycles",
+                mp_telemetry::ArgValue::U64(report.cd_cycles),
+                "cd_queries",
+                mp_telemetry::ArgValue::U64(report.cd_queries),
+            )
+        });
         report
     }
 }

@@ -357,6 +357,15 @@ pub fn run_sas(
     assert!(cfg.num_cdus >= 1, "SAS needs at least one CDU");
     assert!(cfg.group_size >= 1, "group size must be at least 1");
 
+    // Cycle-level scheduler loop: instrumentation only exists under the
+    // `telemetry` feature so the default build's hot loop is untouched.
+    #[cfg(feature = "telemetry")]
+    let batch_span = mp_telemetry::span_args(
+        "core",
+        "sas_batch",
+        mp_telemetry::arg1("motions", mp_telemetry::ArgValue::U64(motions.len() as u64)),
+    );
+
     let mut states: Vec<MotionState> = motions
         .iter()
         .enumerate()
@@ -435,10 +444,12 @@ pub fn run_sas(
                 .unwrap_or_default()
         };
 
-        // 3. Dispatch up to dispatch_per_cycle queries to free CDUs.
+        // 3. Dispatch up to dispatch_per_cycle queries to free CDUs. The
+        // slot index only feeds the telemetry CDU-lane events.
         let mut dispatched = 0usize;
         if !window.is_empty() {
-            for slot in cdus.iter_mut() {
+            #[cfg_attr(not(feature = "telemetry"), allow(clippy::unused_enumerate_index))]
+            for (_slot_idx, slot) in cdus.iter_mut().enumerate() {
                 if dispatched >= cfg.dispatch_per_cycle {
                     break;
                 }
@@ -466,6 +477,22 @@ pub fn run_sas(
                 let resp = cdu.query(&pose);
                 queries += 1;
                 dispatched += 1;
+                // One Perfetto row per CDU dispatch slot, timestamped in
+                // cycles (the SAS clock), showing lane occupancy.
+                #[cfg(feature = "telemetry")]
+                mp_telemetry::complete_at(
+                    mp_telemetry::Lane::new("cdu", _slot_idx as u32),
+                    "core",
+                    "cd_query",
+                    t,
+                    resp.latency.max(1),
+                    mp_telemetry::arg2(
+                        "motion",
+                        mp_telemetry::ArgValue::U64(mi as u64),
+                        "colliding",
+                        mp_telemetry::ArgValue::U64(resp.colliding as u64),
+                    ),
+                );
                 *slot = Some(InFlight {
                     finish: t + resp.latency.max(1),
                     motion: mi,
@@ -508,6 +535,15 @@ pub fn run_sas(
     };
 
     // Account for the result aggregation cycle (§5.1, step 6).
+    #[cfg(feature = "telemetry")]
+    batch_span.end_with(|| {
+        mp_telemetry::arg2(
+            "cycles",
+            mp_telemetry::ArgValue::U64(t + 1),
+            "queries",
+            mp_telemetry::ArgValue::U64(queries),
+        )
+    });
     SasRunResult {
         cycles: t + 1,
         queries,

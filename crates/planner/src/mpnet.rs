@@ -271,6 +271,7 @@ pub fn plan(
     let robot = checker.robot().clone();
 
     // --- Phase 1: bidirectional neural planning. ---
+    let phase1 = mp_telemetry::span("planner", "phase1_neural");
     let mut path_a = vec![start.clone()];
     let mut path_b = vec![goal.clone()];
     let mut connected = false;
@@ -335,6 +336,7 @@ pub fn plan(
         }
         std::mem::swap(&mut path_a, &mut path_b);
     }
+    drop(phase1);
     if !connected {
         stats.cd_queries = checker.stats().pose_queries - cd_before;
         return PlanOutcome {
@@ -355,6 +357,8 @@ pub fn plan(
     stats.coarse_waypoints = path.len();
 
     // --- Phase 2: feasibility checking + neural replanning. ---
+    // The guard also closes on the early returns inside the loop.
+    let phase2 = mp_telemetry::span("planner", "phase2_replan");
     let mut attempts = cfg.replan_attempts;
     let mut consecutive_failures = 0u32;
     let mut last_bad = usize::MAX;
@@ -433,8 +437,11 @@ pub fn plan(
         }
     }
 
+    drop(phase2);
+
     // --- Phase 3: path optimization (greedy shortcutting, §2.1). ---
     if cfg.shortcut {
+        let _phase3 = mp_telemetry::span("planner", "phase3_shortcut");
         let before = path.len();
         greedy_shortcut(checker, &mut trace, &mut path, step);
         stats.shortcut_removed = before - path.len();

@@ -180,6 +180,7 @@ pub fn rrt_connect(
     cfg: &RrtConfig,
     seed: u64,
 ) -> RrtOutcome {
+    let _span = mp_telemetry::span("planner", "rrt_connect");
     let robot = checker.robot().clone();
     let mut rng = StdRng::seed_from_u64(seed);
     let cd_before = checker.stats().pose_queries;

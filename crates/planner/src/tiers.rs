@@ -187,7 +187,12 @@ pub fn plan_at_tier(
     tier: QualityTier,
     seed: u64,
 ) -> TierOutcome {
-    match tier.mpnet_config(seed) {
+    let span = mp_telemetry::span_args(
+        "planner",
+        "plan",
+        mp_telemetry::arg1("tier", mp_telemetry::ArgValue::Str(tier.label())),
+    );
+    let outcome = match tier.mpnet_config(seed) {
         Some(cfg) => {
             let out = plan(checker, sampler, start, goal, &cfg);
             TierOutcome {
@@ -208,7 +213,16 @@ pub fn plan_at_tier(
                 modeled_us: out.cd_queries as f64 * CD_QUERY_MODELED_US,
             }
         }
-    }
+    };
+    span.end_with(|| {
+        mp_telemetry::arg2(
+            "solved",
+            mp_telemetry::ArgValue::U64(outcome.solved as u64),
+            "cd_queries",
+            mp_telemetry::ArgValue::U64(outcome.cd_queries),
+        )
+    });
+    outcome
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use mp_planner::queries::generate_queries;
 use mp_planner::sampler::OracleSampler;
 use mp_planner::{plan_at_tier, QualityTier};
 use mp_robot::RobotModel;
+use mp_telemetry::{self as telemetry, arg1, ArgValue, TelemetrySession};
 use threadpool::ThreadPool;
 
 /// The planned outcome of one (scene, query, tier) combination.
@@ -54,8 +55,39 @@ impl PlanCatalog {
         seed: u64,
         pool: &ThreadPool,
     ) -> Result<PlanCatalog, String> {
+        PlanCatalog::build_inner(robot, scenes, queries_per_scene, seed, pool, None)
+    }
+
+    /// [`PlanCatalog::build`] with telemetry: each scene's planning work
+    /// records into its own `("catalog", scene_index)` stream of
+    /// `session`, so the planner/collision spans from the build are
+    /// identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a scene cannot yield valid queries.
+    pub fn build_traced(
+        robot: &RobotModel,
+        scenes: &[Scene],
+        queries_per_scene: usize,
+        seed: u64,
+        pool: &ThreadPool,
+        session: &TelemetrySession,
+    ) -> Result<PlanCatalog, String> {
+        PlanCatalog::build_inner(robot, scenes, queries_per_scene, seed, pool, Some(session))
+    }
+
+    fn build_inner(
+        robot: &RobotModel,
+        scenes: &[Scene],
+        queries_per_scene: usize,
+        seed: u64,
+        pool: &ThreadPool,
+        session: Option<&TelemetrySession>,
+    ) -> Result<PlanCatalog, String> {
         let per_scene: Vec<Result<Vec<[CatalogEntry; QualityTier::COUNT]>, String>> =
             pool.map(scenes, |si, scene| {
+                let _stream = session.map(|s| s.install("catalog", si as u32));
                 let queries = generate_queries(
                     robot,
                     scene,
@@ -73,6 +105,11 @@ impl PlanCatalog {
                     .iter()
                     .enumerate()
                     .map(|(qi, q)| {
+                        let query_span = telemetry::span_args(
+                            "catalog",
+                            "query",
+                            arg1("q", ArgValue::U64(qi as u64)),
+                        );
                         let mut row = [CatalogEntry {
                             solved: false,
                             modeled_us: 0.0,
@@ -101,6 +138,7 @@ impl PlanCatalog {
                                 nn_calls: out.nn_calls,
                             };
                         }
+                        drop(query_span);
                         row
                     })
                     .collect())

@@ -49,4 +49,4 @@ pub use degrade::DegradeConfig;
 pub use metrics::ServiceSummary;
 pub use queue::{QueuePolicy, RequestQueue};
 pub use request::{Request, ShedReason, TenantSpec, Verdict};
-pub use service::{run_service, FaultProfile, RetryConfig, ServiceConfig};
+pub use service::{run_service, run_service_traced, FaultProfile, RetryConfig, ServiceConfig};

@@ -4,6 +4,7 @@
 use mp_planner::QualityTier;
 use mp_sim::fault::ResilienceCounters;
 use mp_sim::vtime::VirtualNs;
+use mp_telemetry::{HistSnapshot, Registry};
 
 /// The aggregate outcome of one service run.
 #[derive(Clone, Debug, Default)]
@@ -39,8 +40,10 @@ pub struct ServiceSummary {
     pub busy_ns: u64,
     /// Merged fault-injection / recovery counters.
     pub resilience: ResilienceCounters,
-    /// Sorted arrival-to-completion latencies of served requests (ns).
-    latencies_ns: Vec<VirtualNs>,
+    /// Arrival-to-completion latencies of served requests (ns), stored as
+    /// a telemetry histogram (raw samples kept sorted, so percentiles stay
+    /// exact nearest-rank).
+    latency_hist: HistSnapshot,
 }
 
 impl ServiceSummary {
@@ -57,7 +60,14 @@ impl ServiceSummary {
     /// Stores and sorts the served-request latencies.
     pub fn set_latencies(&mut self, mut latencies_ns: Vec<VirtualNs>) {
         latencies_ns.sort_unstable();
-        self.latencies_ns = latencies_ns;
+        let mut hist = HistSnapshot::new();
+        hist.observe_all(&latencies_ns);
+        self.latency_hist = hist;
+    }
+
+    /// The served-latency distribution (ns).
+    pub fn latency_histogram(&self) -> &HistSnapshot {
+        &self.latency_hist
     }
 
     /// Requests served with a plan (on time or late).
@@ -82,12 +92,9 @@ impl ServiceSummary {
     /// Exact nearest-rank percentile of served latency, in µs (`q` in
     /// `0..=1`). `None` when nothing was served.
     pub fn latency_percentile_us(&self, q: f64) -> Option<f64> {
-        if self.latencies_ns.is_empty() {
-            return None;
-        }
-        let n = self.latencies_ns.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        Some(self.latencies_ns[rank - 1] as f64 / 1_000.0)
+        self.latency_hist
+            .percentile(q)
+            .map(|ns| ns as f64 / 1_000.0)
     }
 
     /// Median served latency (µs); 0 when nothing was served.
@@ -123,6 +130,35 @@ impl ServiceSummary {
     pub fn shed(&self) -> u64 {
         self.shed_queue_full + self.shed_hopeless
     }
+
+    /// Exports the whole summary — counts, rates, the latency histogram,
+    /// and the merged resilience counters — into a telemetry registry
+    /// under `<prefix>.<field>` names.
+    pub fn export_into(&self, prefix: &str, registry: &Registry) {
+        registry.set_counter(&format!("{prefix}.offered"), self.offered);
+        registry.set_counter(&format!("{prefix}.on_time"), self.on_time);
+        registry.set_counter(&format!("{prefix}.late"), self.late);
+        registry.set_counter(&format!("{prefix}.shed_queue_full"), self.shed_queue_full);
+        registry.set_counter(&format!("{prefix}.shed_hopeless"), self.shed_hopeless);
+        registry.set_counter(&format!("{prefix}.failed_faults"), self.failed_faults);
+        registry.set_counter(&format!("{prefix}.unsolved"), self.unsolved);
+        registry.set_counter(&format!("{prefix}.retries"), self.retries);
+        registry.set_counter(&format!("{prefix}.tier_stepdowns"), self.tier_stepdowns);
+        registry.set_counter(&format!("{prefix}.quarantines"), self.quarantines);
+        for tier in QualityTier::LADDER {
+            registry.set_counter(
+                &format!("{prefix}.served.{}", tier.label()),
+                self.tier_served[tier.index()],
+            );
+        }
+        registry.set_counter(&format!("{prefix}.busy_ns"), self.busy_ns);
+        registry.set_gauge(&format!("{prefix}.goodput_rps"), self.goodput_rps());
+        registry.set_gauge(&format!("{prefix}.miss_rate"), self.miss_rate());
+        registry.set_gauge(&format!("{prefix}.utilization"), self.utilization());
+        registry.observe_hist(&format!("{prefix}.latency_ns"), &self.latency_hist);
+        self.resilience
+            .export_into(&format!("{prefix}.resilience"), registry);
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +178,29 @@ mod tests {
         assert_eq!(s.latency_percentile_us(0.99), Some(4.0));
         assert_eq!(s.latency_percentile_us(0.001), Some(1.0));
         assert_eq!(s.p50_us(), 2.0);
+        assert_eq!(s.latency_histogram().count(), 4);
+    }
+
+    #[test]
+    fn export_into_registry_round_trips() {
+        let mut s = ServiceSummary {
+            duration_ns: 1_000_000_000,
+            offered: 10,
+            on_time: 8,
+            late: 1,
+            ..ServiceSummary::default()
+        };
+        s.tier_served[0] = 9;
+        s.set_latencies(vec![5_000; 9]);
+        let r = Registry::new();
+        s.export_into("service", &r);
+        assert_eq!(r.counter_value("service.on_time"), Some(8));
+        assert_eq!(r.counter_value("service.served.full"), Some(9));
+        assert_eq!(r.gauge_value("service.goodput_rps"), Some(8.0));
+        let h = r.histogram("service.latency_ns").unwrap();
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.percentile(0.99), Some(5_000));
+        assert_eq!(r.counter_value("service.resilience.queries"), Some(0));
     }
 
     #[test]
@@ -164,6 +223,15 @@ mod tests {
         assert!((s.goodput_rps() - 300.0).abs() < 1e-9);
         assert!((s.miss_rate() - 0.25).abs() < 1e-12);
         assert!((s.utilization() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_latencies_overwrites_previous_samples() {
+        let mut s = ServiceSummary::default();
+        s.set_latencies(vec![1_000]);
+        s.set_latencies(vec![2_000, 3_000]);
+        assert_eq!(s.latency_histogram().count(), 2);
+        assert_eq!(s.latency_percentile_us(1.0), Some(3.0));
     }
 
     #[test]

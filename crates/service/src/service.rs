@@ -15,6 +15,7 @@
 use mp_planner::QualityTier;
 use mp_sim::fault::{FaultInjector, FaultKind, FaultPlan};
 use mp_sim::vtime::{EventQueue, VirtualNs, NS_PER_US};
+use mp_telemetry::{self as telemetry, arg1, arg2, ArgValue, Lane};
 use mpaccel_core::pool::AcceleratorPool;
 
 use crate::breaker::BreakerConfig;
@@ -183,11 +184,20 @@ impl Run<'_> {
 
     fn enqueue(&mut self, id: usize, now: VirtualNs) {
         if self.cfg.admission && self.queue.len() >= self.cfg.queue_capacity {
+            telemetry::instant_args(
+                "service",
+                "shed_queue_full",
+                arg1("req", ArgValue::U64(id as u64)),
+            );
+            if telemetry::active() {
+                telemetry::incident(&format!("shed_queue_full req={id} t_ns={now}"));
+            }
             self.resolve(id, Verdict::Shed(ShedReason::QueueFull));
             return;
         }
         let deadline = self.reqs[id].deadline_ns;
         self.queue.push(id, deadline);
+        telemetry::counter("queue_depth", self.queue.len() as f64);
         let _ = now;
     }
 
@@ -209,6 +219,7 @@ impl Run<'_> {
                 return;
             };
             let Some(id) = self.queue.pop() else { return };
+            telemetry::counter("queue_depth", self.queue.len() as f64);
 
             // Tier choice: congestion controller first, then the
             // request's floor from failed attempts, then slack-fit.
@@ -226,6 +237,16 @@ impl Run<'_> {
                     tier_idx += 1;
                 }
                 if self.service_ns(id, tier_idx) > slack {
+                    telemetry::instant_args(
+                        "service",
+                        "shed_hopeless",
+                        arg1("req", ArgValue::U64(id as u64)),
+                    );
+                    if telemetry::active() {
+                        telemetry::incident(&format!(
+                            "shed_hopeless req={id} slack_ns={slack} t_ns={now}"
+                        ));
+                    }
                     self.resolve(id, Verdict::Shed(ShedReason::Hopeless));
                     continue;
                 }
@@ -248,6 +269,24 @@ impl Run<'_> {
             self.inflight[inst] = (id, fault);
             self.reqs[id].tier_floor = tier_idx; // remember the served tier
             self.pool.begin(inst, now, service_ns);
+            // Instance occupancy as one Perfetto row per instance.
+            telemetry::complete_at(
+                Lane::new("inst", inst as u32),
+                "service",
+                if fault.is_some() {
+                    "serve_faulted"
+                } else {
+                    "serve"
+                },
+                now,
+                service_ns,
+                arg2(
+                    "req",
+                    ArgValue::U64(id as u64),
+                    "tier",
+                    ArgValue::Str(QualityTier::from_index(tier_idx).label()),
+                ),
+            );
             self.events
                 .push(now + service_ns, Event::Complete { inst, req: id });
         }
@@ -265,6 +304,14 @@ impl Run<'_> {
                 .is_some()
             {
                 self.injectors[inst].counters_mut().quarantined += 1;
+                telemetry::instant_args(
+                    "service",
+                    "quarantine",
+                    arg1("inst", ArgValue::U64(inst as u64)),
+                );
+                if telemetry::active() {
+                    telemetry::incident(&format!("quarantine inst={inst} t_ns={now}"));
+                }
                 // The expiry needs a wake in case the whole pool is idle
                 // but quarantined when it lands.
                 if let Some(at) = self.pool.next_dispatchable_at(now) {
@@ -272,6 +319,17 @@ impl Run<'_> {
                 }
             }
             if self.reqs[id].attempts > self.cfg.retry.max_retries {
+                telemetry::instant_args(
+                    "service",
+                    "failed_faults",
+                    arg1("req", ArgValue::U64(id as u64)),
+                );
+                if telemetry::active() {
+                    telemetry::incident(&format!(
+                        "failed_faults req={id} attempts={} t_ns={now}",
+                        self.reqs[id].attempts
+                    ));
+                }
                 self.resolve(id, Verdict::FailedFaults);
             } else {
                 let shift = (self.reqs[id].attempts - 1).min(16);
@@ -292,6 +350,23 @@ impl Run<'_> {
                         latency_ns: latency,
                     }
                 } else {
+                    let late_ns = now - self.reqs[id].deadline_ns;
+                    telemetry::instant_args(
+                        "service",
+                        "deadline_miss",
+                        arg2(
+                            "req",
+                            ArgValue::U64(id as u64),
+                            "late_ns",
+                            ArgValue::U64(late_ns),
+                        ),
+                    );
+                    if telemetry::active() {
+                        telemetry::incident(&format!(
+                            "deadline_miss req={id} tier={} late_ns={late_ns} t_ns={now}",
+                            tier.label()
+                        ));
+                    }
                     Verdict::Late {
                         tier,
                         latency_ns: latency,
@@ -378,6 +453,7 @@ pub fn run_service(
     };
 
     while let Some((now, ev)) = run.events.pop() {
+        telemetry::set_time(now);
         match ev {
             Event::Enqueue(id) => {
                 run.enqueue(id, now);
@@ -408,6 +484,29 @@ pub fn run_service(
     let latencies = std::mem::take(&mut run.latencies);
     run.summary.set_latencies(latencies);
     run.summary
+}
+
+/// [`run_service`] with telemetry: installs a `("service", stream_index)`
+/// stream on this thread for the duration of the run, so the event loop's
+/// spans, queue-depth samples, and flight-recorder incidents land in
+/// `session`.
+///
+/// The summary is identical to the untraced run — recording never
+/// perturbs the simulation.
+///
+/// # Panics
+///
+/// Panics if the catalog is empty or `cfg.instances == 0`.
+pub fn run_service_traced(
+    catalog: &PlanCatalog,
+    tenants: &[TenantSpec],
+    duration_ns: VirtualNs,
+    cfg: &ServiceConfig,
+    session: &telemetry::TelemetrySession,
+    stream_index: u32,
+) -> ServiceSummary {
+    let _stream = session.install("service", stream_index);
+    run_service(catalog, tenants, duration_ns, cfg)
 }
 
 #[cfg(test)]

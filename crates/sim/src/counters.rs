@@ -49,6 +49,16 @@ impl OpCounter {
             Some(self.mults as f64 / baseline.mults as f64)
         }
     }
+
+    /// Exports the counters into a telemetry registry under
+    /// `<prefix>.<field>` names.
+    pub fn export_into(&self, prefix: &str, registry: &mp_telemetry::Registry) {
+        registry.set_counter(&format!("{prefix}.mults"), self.mults);
+        registry.set_counter(&format!("{prefix}.adds"), self.adds);
+        registry.set_counter(&format!("{prefix}.sram_reads"), self.sram_reads);
+        registry.set_counter(&format!("{prefix}.box_tests"), self.box_tests);
+        registry.set_counter(&format!("{prefix}.cd_queries"), self.cd_queries);
+    }
 }
 
 impl Add for OpCounter {

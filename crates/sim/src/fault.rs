@@ -192,6 +192,32 @@ impl ResilienceCounters {
         self.false_negatives += other.false_negatives;
         self.false_positives += other.false_positives;
     }
+
+    /// Exports the counters into a telemetry registry under
+    /// `<prefix>.<field>` names (per-kind injections under
+    /// `<prefix>.injected.<kind label>`).
+    pub fn export_into(&self, prefix: &str, registry: &mp_telemetry::Registry) {
+        registry.set_counter(&format!("{prefix}.queries"), self.queries);
+        for kind in FaultKind::ALL {
+            registry.set_counter(
+                &format!("{prefix}.injected.{}", kind.label()),
+                self.injected(kind),
+            );
+        }
+        registry.set_counter(&format!("{prefix}.detected"), self.detected);
+        registry.set_counter(&format!("{prefix}.masked"), self.masked);
+        registry.set_counter(&format!("{prefix}.escaped"), self.escaped);
+        registry.set_counter(&format!("{prefix}.redispatches"), self.redispatches);
+        registry.set_counter(
+            &format!("{prefix}.conservative_promotions"),
+            self.conservative_promotions,
+        );
+        registry.set_counter(&format!("{prefix}.quarantined"), self.quarantined);
+        registry.set_counter(&format!("{prefix}.oracle_checks"), self.oracle_checks);
+        registry.set_counter(&format!("{prefix}.oracle_overrides"), self.oracle_overrides);
+        registry.set_counter(&format!("{prefix}.false_negatives"), self.false_negatives);
+        registry.set_counter(&format!("{prefix}.false_positives"), self.false_positives);
+    }
 }
 
 /// Number of data bits in a packed octree node word.

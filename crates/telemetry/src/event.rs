@@ -1,0 +1,150 @@
+//! The event model: what one telemetry record looks like.
+//!
+//! Everything here is `Copy` and allocation-free: an [`Event`] is a fixed
+//! 2-argument record of `'static` strings and plain numbers, so recording
+//! one is a handful of stores into a preallocated ring. Allocation (and
+//! string formatting) only happens at export time or when a flight-recorder
+//! incident is snapshotted.
+
+/// Timestamps are integer nanoseconds, matching `mp_sim::vtime::VirtualNs`.
+///
+/// The sink keeps a *monotone cursor* over these: callers feed in virtual
+/// time with [`crate::set_time`] and every recorded event is stamped with a
+/// strictly increasing value, so event order is total and deterministic.
+pub type TimeNs = u64;
+
+/// A typed argument value attached to an event.
+///
+/// Restricted to plain numbers and `'static` strings so events stay `Copy`
+/// and recording never allocates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer (counts, ids).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (rates, ratios). Non-finite values export as 0.
+    F64(f64),
+    /// A static string (tier labels, fault kinds, verdicts).
+    Str(&'static str),
+}
+
+/// A named argument: `("tier", ArgValue::Str("full"))`.
+pub type Arg = (&'static str, ArgValue);
+
+/// The fixed-width argument slot array carried by every event.
+pub type Args = [Option<Arg>; 2];
+
+/// The empty argument list.
+pub const NO_ARGS: Args = [None, None];
+
+/// Builds a one-argument list.
+pub const fn arg1(name: &'static str, value: ArgValue) -> Args {
+    [Some((name, value)), None]
+}
+
+/// Builds a two-argument list.
+pub const fn arg2(a: &'static str, av: ArgValue, b: &'static str, bv: ArgValue) -> Args {
+    [Some((a, av)), Some((b, bv))]
+}
+
+/// A track within a stream: rendered as one Chrome-trace thread row.
+///
+/// `Lane::MAIN` carries the nested span stack; extra lanes carry
+/// [`EventKind::Complete`] events for parallel hardware resources (SAS
+/// dispatch lanes, CDU slots, service instances) so they show up as
+/// side-by-side rows in Perfetto.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lane {
+    /// Lane family, e.g. `"cdu"` or `"inst"`.
+    pub name: &'static str,
+    /// Index within the family.
+    pub index: u32,
+}
+
+impl Lane {
+    /// The default lane carrying the span stack.
+    pub const MAIN: Lane = Lane::new("main", 0);
+
+    /// A lane with the given family name and index.
+    pub const fn new(name: &'static str, index: u32) -> Lane {
+        Lane { name, index }
+    }
+}
+
+/// What kind of record an event is (mirrors Chrome trace-event phases).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// Span open (`ph:"B"`). Must be balanced by an [`EventKind::End`].
+    Begin,
+    /// Span close (`ph:"E"`).
+    End,
+    /// A point event (`ph:"i"`).
+    Instant,
+    /// A span recorded after the fact with an explicit duration
+    /// (`ph:"X"`); used for lanes whose occupancy is known on retire.
+    Complete {
+        /// Span duration in the same unit as the timestamp.
+        dur: TimeNs,
+    },
+    /// A counter-track sample (`ph:"C"`).
+    Counter {
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+/// One telemetry record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Monotone timestamp (see [`TimeNs`]).
+    pub t: TimeNs,
+    /// The track this event belongs to.
+    pub lane: Lane,
+    /// Category, e.g. `"planner"`, `"service"`, `"collision"`, `"core"`.
+    pub cat: &'static str,
+    /// Event name, e.g. `"plan"`, `"cd_query"`, `"serve"`.
+    pub name: &'static str,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Up to two typed arguments.
+    pub args: Args,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copy() {
+        let e = Event {
+            t: 7,
+            lane: Lane::MAIN,
+            cat: "planner",
+            name: "plan",
+            kind: EventKind::Begin,
+            args: arg1("tier", ArgValue::Str("full")),
+        };
+        let f = e; // Copy
+        assert_eq!(e, f);
+        // Stays a small fixed-size record: recording must not balloon.
+        // (&'static str is a fat pointer, so ~11 words total today.)
+        assert!(std::mem::size_of::<Event>() <= 192);
+    }
+
+    #[test]
+    fn arg_builders() {
+        assert_eq!(NO_ARGS, [None, None]);
+        let a = arg2("a", ArgValue::U64(1), "b", ArgValue::I64(-1));
+        assert_eq!(a[0], Some(("a", ArgValue::U64(1))));
+        assert_eq!(a[1], Some(("b", ArgValue::I64(-1))));
+    }
+
+    #[test]
+    fn lanes_order_by_name_then_index() {
+        let a = Lane::new("cdu", 0);
+        let b = Lane::new("cdu", 3);
+        let c = Lane::new("inst", 0);
+        assert!(a < b && b < c);
+    }
+}

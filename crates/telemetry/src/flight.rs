@@ -1,0 +1,133 @@
+//! Flight recorder: bounded snapshots of recent events captured at the
+//! moment something went wrong, plus a plain-text post-mortem renderer.
+//!
+//! The service loop and accelerator models call [`crate::incident`] when a
+//! deadline miss, shed, fault-retry exhaustion, or quarantine fires; the
+//! sink clones the tail of its ring into an [`Incident`]. After the run,
+//! [`flight_report`] renders every captured incident as a readable
+//! post-mortem: the reason line followed by the last events leading up to
+//! it, newest last.
+
+use crate::event::{ArgValue, Event, EventKind, TimeNs};
+use crate::sink::Stream;
+
+/// One captured incident: the reason and the events leading up to it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Incident {
+    /// Stream-cursor time when the incident fired.
+    pub t: TimeNs,
+    /// Why the snapshot was taken (e.g. `deadline_miss req=42 late_us=310`).
+    pub reason: String,
+    /// The last `flight_capacity` events before the incident.
+    pub events: Vec<Event>,
+}
+
+/// Renders all incidents across streams as a plain-text report.
+///
+/// Streams are sorted by label (same canonical order as the trace
+/// exporter), so the report is deterministic across thread counts.
+pub fn flight_report(streams: &[Stream]) -> String {
+    let mut ordered: Vec<&Stream> = streams.iter().collect();
+    ordered.sort_by_key(|s| s.label);
+
+    let total: u64 = ordered.iter().map(|s| s.incidents_seen).sum();
+    let kept: usize = ordered.iter().map(|s| s.incidents.len()).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "flight recorder: {total} incident(s) observed, {kept} snapshot(s) kept\n"
+    ));
+    for stream in ordered {
+        if stream.incidents.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "\nstream {}/{} ({} of {} incident(s) kept)\n",
+            stream.label.name,
+            stream.label.index,
+            stream.incidents.len(),
+            stream.incidents_seen,
+        ));
+        for (i, inc) in stream.incidents.iter().enumerate() {
+            out.push_str(&format!(
+                "  incident {} at t={} ns: {}\n",
+                i + 1,
+                inc.t,
+                inc.reason
+            ));
+            for e in &inc.events {
+                out.push_str("    ");
+                render_event(&mut out, e);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn render_event(out: &mut String, e: &Event) {
+    out.push_str(&format!("[{:>12}] ", e.t));
+    if e.lane != crate::Lane::MAIN {
+        out.push_str(&format!("{}/{} ", e.lane.name, e.lane.index));
+    }
+    match e.kind {
+        EventKind::Begin => out.push_str(&format!("begin {}:{}", e.cat, e.name)),
+        EventKind::End => out.push_str(&format!("end   {}:{}", e.cat, e.name)),
+        EventKind::Instant => out.push_str(&format!("event {}:{}", e.cat, e.name)),
+        EventKind::Complete { dur } => {
+            out.push_str(&format!("span  {}:{} dur={}ns", e.cat, e.name, dur));
+        }
+        EventKind::Counter { value } => {
+            out.push_str(&format!("count {}={}", e.name, value));
+        }
+    }
+    for (name, value) in e.args.iter().flatten() {
+        match value {
+            ArgValue::U64(v) => out.push_str(&format!(" {name}={v}")),
+            ArgValue::I64(v) => out.push_str(&format!(" {name}={v}")),
+            ArgValue::F64(v) => out.push_str(&format!(" {name}={v}")),
+            ArgValue::Str(s) => out.push_str(&format!(" {name}={s}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{arg1, ArgValue};
+    use crate::sink::{SinkConfig, TelemetrySession};
+
+    #[test]
+    fn report_shows_reason_and_trailing_events() {
+        let session = TelemetrySession::with_config(SinkConfig {
+            flight_capacity: 3,
+            ..SinkConfig::default()
+        });
+        {
+            let _g = session.install("service", 2);
+            crate::set_time(10_000);
+            crate::instant_args("service", "enqueue", arg1("req", ArgValue::U64(1)));
+            crate::instant("service", "dispatch");
+            crate::instant("service", "complete_late");
+            if crate::active() {
+                crate::incident("deadline_miss req=1 late_us=310");
+            }
+        }
+        let report = flight_report(&session.streams());
+        assert!(report.contains("1 incident(s) observed, 1 snapshot(s) kept"));
+        assert!(report.contains("stream service/2"));
+        assert!(report.contains("deadline_miss req=1 late_us=310"));
+        assert!(report.contains("event service:enqueue req=1"));
+        assert!(report.contains("event service:complete_late"));
+    }
+
+    #[test]
+    fn no_incidents_is_a_one_line_report() {
+        let session = TelemetrySession::new();
+        drop(session.install("quiet", 0));
+        let report = flight_report(&session.streams());
+        assert_eq!(
+            report,
+            "flight recorder: 0 incident(s) observed, 0 snapshot(s) kept\n"
+        );
+    }
+}

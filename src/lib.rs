@@ -15,7 +15,10 @@
 //! * [`service`] — deterministic multi-tenant planning service (admission
 //!   control, EDF scheduling, degradation ladder) over a pool of
 //!   simulated accelerators,
-//! * [`baselines`] — CPU/GPU comparison models.
+//! * [`baselines`] — CPU/GPU comparison models,
+//! * [`telemetry`] — deterministic spans/counters/histograms, the flight
+//!   recorder, and the Chrome/Perfetto trace exporter (hot-kernel spans
+//!   gate behind the `telemetry` cargo feature).
 
 #![forbid(unsafe_code)]
 
@@ -28,4 +31,5 @@ pub use mp_planner as planner;
 pub use mp_robot as robot;
 pub use mp_service as service;
 pub use mp_sim as sim;
+pub use mp_telemetry as telemetry;
 pub use mpaccel_core as accel;
