@@ -60,6 +60,7 @@ pub fn experiments() -> Vec<Experiment> {
         exp!(planners),
         exp!(faults),
         exp!(soak),
+        exp!(fleet),
     ]
 }
 
@@ -282,11 +283,11 @@ mod tests {
     #[test]
     fn suite_is_complete_and_uniquely_named() {
         let all = experiments();
-        assert_eq!(all.len(), 17);
+        assert_eq!(all.len(), 18);
         let mut names: Vec<&str> = all.iter().map(|x| x.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 17, "duplicate experiment names");
+        assert_eq!(names.len(), 18, "duplicate experiment names");
     }
 
     #[test]

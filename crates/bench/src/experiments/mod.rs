@@ -17,6 +17,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod fig20;
+pub mod fleet;
 pub mod planners;
 pub mod soak;
 pub mod table1;

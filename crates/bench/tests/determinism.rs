@@ -9,7 +9,7 @@
 //! campaign's catalog cache (soak).
 
 use mp_bench::engine::{run_selected, select};
-use mp_bench::experiments::soak;
+use mp_bench::experiments::{fleet, soak};
 use mp_bench::Scale;
 use threadpool::ThreadPool;
 
@@ -54,6 +54,20 @@ fn soak_report_is_byte_identical_at_one_and_eight_threads() {
     let one = soak::run_with_pool(Scale::Quick, &ThreadPool::new(1)).to_string();
     let eight = soak::run_with_pool(Scale::Quick, &ThreadPool::new(8)).to_string();
     assert_eq!(one, eight, "soak report differs between 1 and 8 threads");
+}
+
+#[test]
+fn fleet_soak_is_byte_identical_at_one_and_eight_threads() {
+    // The fleet contract: a 16-shard chaos soak — shard kills mid-run,
+    // failover, hedged requests, per-tenant fair queueing — renders
+    // byte-identically whatever the catalog-build pool width. The fleet
+    // event loop is single-threaded vtime; only the catalog build fans
+    // out, so the whole report (per-shard and per-tenant rows included)
+    // must survive the width change untouched.
+    let one = fleet::run_with_pool(Scale::Quick, &ThreadPool::new(1)).to_string();
+    let eight = fleet::run_with_pool(Scale::Quick, &ThreadPool::new(8)).to_string();
+    assert!(one.contains("chaos-defended") && one.contains("shard:15"));
+    assert_eq!(one, eight, "fleet report differs between 1 and 8 threads");
 }
 
 #[test]

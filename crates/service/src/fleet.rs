@@ -1,0 +1,1265 @@
+//! The sharded planning fleet: consistent-hash routing, seeded shard
+//! chaos with failover, hedged requests, and per-tenant isolation.
+//!
+//! A fleet is N independent shards, each a full single-shard service
+//! (bounded queue, dispatcher, accelerator pool, fault injectors,
+//! degradation ladder, circuit breakers), joined by a router:
+//!
+//! ```text
+//!  tenants ─► token buckets ─► consistent-hash ring ─► shard 0..N
+//!  (arrival    (per-tenant      (tenant, key) → primary,  each: fair
+//!   streams)    admission)       bounded-load p2c spill    queue + pool
+//!                                       │                      │
+//!                  hedge after deadline-aware delay       chaos: crash /
+//!                  (duplicate to second shard,            stall / flap →
+//!                   first response wins)                  failover + rejoin
+//! ```
+//!
+//! Robustness mechanics, all deterministic in virtual time:
+//!
+//! * **Routing** ([`crate::ring`]): requests hash by `(tenant, key)` to a
+//!   primary shard; the bounded-load power-of-two-choices rule spills to
+//!   the deterministic second choice when the primary's queue runs ahead
+//!   of the fleet average.
+//! * **Chaos & failover** (`mp_sim::fault::ShardFaultPlan`): seeded
+//!   crashes, stalls, and flaps. A defended fleet removes a dead shard
+//!   from the ring and re-enqueues its queued *and* in-flight requests on
+//!   surviving shards under a per-request failover budget; on rejoin the
+//!   shard re-enters the ring behind a catch-up window that keeps routing
+//!   spilling away until it drains. An undefended fleet keeps sending a
+//!   dead shard its keys and loses them.
+//! * **Hedging**: a request still unresolved after a deadline-aware delay
+//!   (`min(hedge delay, slack/2)`) is duplicated to the next distinct
+//!   ring shard; the first completion wins and stragglers are counted,
+//!   not served twice to the tenant.
+//! * **Tenant isolation** ([`crate::tenant`]): per-tenant token buckets
+//!   at the fleet door and weighted fair queueing inside every shard, so
+//!   an adversarial tenant throttles and starves itself, not its
+//!   neighbors.
+//!
+//! One run is still a single-threaded discrete-event simulation over one
+//! global event queue, so a 16-shard chaos soak is a pure function of its
+//! configuration — byte-identical on any machine at any thread count.
+
+use mp_planner::QualityTier;
+use mp_sim::fault::{FaultInjector, FaultKind, ShardFaultKind, ShardFaultPlan};
+use mp_sim::vtime::{EventQueue, VirtualNs, NS_PER_US};
+use mp_telemetry::{self as telemetry, arg2, ArgValue, IncidentKind, Lane};
+use mpaccel_core::pool::AcceleratorPool;
+
+use crate::catalog::PlanCatalog;
+use crate::metrics::{FleetSummary, ServiceSummary, ShardStats, TenantStats};
+use crate::request::{Request, ShedReason, TenantSpec, Verdict};
+use crate::ring::HashRing;
+use crate::service::{
+    build_injectors, choose_tier, mix, roll_dispatch_fault, service_time_ns, ServiceConfig,
+};
+use crate::tenant::{FairQueue, TenantPolicy, TokenBucket};
+
+/// Hedged-request policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HedgeConfig {
+    /// Whether hedging is on.
+    pub enabled: bool,
+    /// Base hedge delay in µs; the effective delay is deadline-aware:
+    /// `min(delay_us, slack/2)` so tight-deadline requests hedge sooner.
+    pub delay_us: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> HedgeConfig {
+        HedgeConfig {
+            enabled: true,
+            delay_us: 400,
+        }
+    }
+}
+
+/// Shard-failure handling policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Whether failover is on. Off models the undefended baseline: the
+    /// ring keeps routing to dead shards and their requests are lost.
+    pub enabled: bool,
+    /// Times one request may be re-routed off dying shards before it is
+    /// abandoned as lost.
+    pub max_failovers: u32,
+    /// Catch-up window after a rejoin (µs): the shard re-enters the ring
+    /// but reports itself overloaded, so bounded-load routing keeps
+    /// spilling new arrivals elsewhere while it drains.
+    pub catchup_us: u64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> FailoverConfig {
+        FailoverConfig {
+            enabled: true,
+            max_failovers: 2,
+            catchup_us: 5_000,
+        }
+    }
+}
+
+/// Full configuration of one fleet run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes_per_shard: usize,
+    /// Bounded-load spill threshold as a percentage of the fleet-average
+    /// load (125 = spill when the primary exceeds 1.25× average).
+    pub spill_bound_pct: u64,
+    /// Per-shard service configuration (instances, queue, degradation,
+    /// retries, breaker, accelerator faults). The shard seed is ignored;
+    /// `seed` below governs the whole fleet.
+    pub shard: ServiceConfig,
+    /// Hedged-request policy.
+    pub hedge: HedgeConfig,
+    /// Shard-failure handling policy.
+    pub failover: FailoverConfig,
+    /// Per-tenant isolation (token buckets + weighted fair queueing).
+    /// Off collapses every shard queue to the shared single-shard
+    /// discipline and admits all traffic.
+    pub fairness: bool,
+    /// Fleet seed (request keys, ring placement, fault streams).
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            vnodes_per_shard: 16,
+            spill_bound_pct: 125,
+            shard: ServiceConfig::default(),
+            hedge: HedgeConfig::default(),
+            failover: FailoverConfig::default(),
+            fairness: true,
+            seed: 0,
+        }
+    }
+}
+
+enum Event {
+    /// A request reaches the fleet door: admission, routing, enqueue.
+    Arrive(usize),
+    /// A request copy (re-)enters shard `shard`'s queue (retry backoff,
+    /// tier step-down, failover re-route).
+    Enqueue { shard: usize, req: usize },
+    /// Shard `shard`'s instance `inst` finishes a dispatch begun in
+    /// epoch `epoch` at tier `tier` (stale epochs are crash casualties).
+    /// The rolled fault and tier ride in the event: an instance freed at
+    /// exactly this timestamp can be re-acquired by an earlier-queued
+    /// event before this one pops, so the inflight slot may already hold
+    /// the next dispatch.
+    Complete {
+        shard: usize,
+        inst: usize,
+        req: usize,
+        epoch: u32,
+        tier: usize,
+        token: u64,
+        fault: Option<FaultKind>,
+    },
+    /// Re-run the given shard's dispatcher (quarantine expiry / busy
+    /// instance freed).
+    Wake(usize),
+    /// Hedge check: duplicate the request if it is still unresolved.
+    Hedge(usize),
+    /// Index into the precomputed chaos schedule fires.
+    Chaos(usize),
+    /// A crashed shard comes back.
+    Rejoin(usize),
+}
+
+/// Fleet-side per-request state (the [`Request`] itself carries the
+/// single-shard fields).
+#[derive(Clone, Debug)]
+struct ReqState {
+    /// Ring route key (`(tenant, catalog key)` hashed by the ring).
+    route_key: u64,
+    /// Shard the request was first enqueued on.
+    primary: usize,
+    /// Whether a hedge duplicate was fired.
+    hedged: bool,
+    /// Shard the hedge duplicate landed on, for win attribution.
+    twin: Option<usize>,
+    /// Live copies (queued or in flight) across shards. When the last
+    /// copy dies without a completion, the request resolves failed.
+    copies: u32,
+    /// Failover re-routes consumed.
+    failovers: u32,
+}
+
+struct Shard {
+    queue: FairQueue,
+    pool: AcceleratorPool,
+    injectors: Vec<FaultInjector>,
+    /// Per-instance `(request, dispatch token)` for the running dispatch
+    /// (`usize::MAX` when idle); the token disambiguates back-to-back
+    /// dispatches that share a timestamp.
+    inflight: Vec<(usize, u64)>,
+    /// Monotone per-shard dispatch counter feeding the tokens.
+    dispatch_seq: u64,
+    /// Earliest outstanding wake, as in the single-shard loop.
+    wake_at: Option<VirtualNs>,
+    alive: bool,
+    /// Crash epoch; completions from older epochs are ignored.
+    epoch: u32,
+    /// Dispatches begun before this instant run `stall_factor`× slower.
+    stall_until: VirtualNs,
+    stall_factor: u64,
+    /// Until this instant the shard reports itself overloaded to the
+    /// router (post-rejoin catch-up).
+    catchup_until: VirtualNs,
+    /// Pool busy-ns / quarantines accumulated across crash epochs (the
+    /// pool itself is rebuilt on every crash).
+    busy_accum: u64,
+    quar_accum: u64,
+    stats: ShardStats,
+    latencies: Vec<VirtualNs>,
+}
+
+struct Fleet<'a> {
+    catalog: &'a PlanCatalog,
+    cfg: &'a FleetConfig,
+    ring: HashRing,
+    reqs: Vec<Request>,
+    states: Vec<ReqState>,
+    shards: Vec<Shard>,
+    buckets: Vec<Option<TokenBucket>>,
+    events: EventQueue<Event>,
+    chaos: Vec<mp_sim::fault::ShardFaultEvent>,
+    summary: FleetSummary,
+    tenants: Vec<TenantStats>,
+    tenant_lat: Vec<Vec<VirtualNs>>,
+    latencies: Vec<VirtualNs>,
+}
+
+impl Fleet<'_> {
+    fn schedule_wake(&mut self, s: usize, at: VirtualNs) {
+        if self.shards[s].wake_at.is_none_or(|w| at < w) {
+            self.shards[s].wake_at = Some(at);
+            self.events.push(at, Event::Wake(s));
+        }
+    }
+
+    fn resolve(&mut self, id: usize, verdict: Verdict) {
+        debug_assert!(self.reqs[id].verdict.is_none(), "request resolved twice");
+        let t = self.reqs[id].tenant;
+        let fleet = &mut self.summary.fleet;
+        match verdict {
+            Verdict::OnTime { .. } => {
+                fleet.on_time += 1;
+                self.tenants[t].on_time += 1;
+            }
+            Verdict::Late { .. } => {
+                fleet.late += 1;
+                self.tenants[t].late += 1;
+            }
+            Verdict::Shed(reason) => {
+                match reason {
+                    ShedReason::QueueFull => fleet.shed_queue_full += 1,
+                    ShedReason::Hopeless => fleet.shed_hopeless += 1,
+                    ShedReason::Throttled => fleet.shed_throttled += 1,
+                    ShedReason::ShardLost => fleet.shed_shard_lost += 1,
+                }
+                if reason == ShedReason::Throttled {
+                    self.tenants[t].throttled += 1;
+                } else {
+                    self.tenants[t].shed += 1;
+                }
+            }
+            Verdict::FailedFaults => fleet.failed_faults += 1,
+            Verdict::Unsolved => fleet.unsolved += 1,
+        }
+        self.reqs[id].verdict = Some(verdict);
+    }
+
+    /// One copy of `id` dies (shed, lost, exhausted). When it was the
+    /// last live copy and no twin completed, the request resolves with
+    /// `verdict`.
+    fn copy_dies(&mut self, id: usize, verdict: Verdict) {
+        let st = &mut self.states[id];
+        st.copies = st.copies.saturating_sub(1);
+        if st.copies == 0 && self.reqs[id].verdict.is_none() {
+            self.resolve(id, verdict);
+        }
+    }
+
+    /// Per-shard router load: queued plus running copies, inflated for
+    /// shards still in their post-rejoin catch-up window.
+    fn loads(&self, now: VirtualNs) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|sh| {
+                let running = sh.inflight.iter().filter(|e| e.0 != usize::MAX).count();
+                let mut l = sh.queue.len() + running;
+                if now < sh.catchup_until {
+                    l += self.cfg.shard.queue_capacity.max(8);
+                }
+                l
+            })
+            .collect()
+    }
+
+    /// Enqueues a copy of `id` on shard `s`. Returns `false` (and sheds
+    /// nothing itself) when the tenant's queue share is full.
+    fn enqueue_on(&mut self, s: usize, id: usize, _now: VirtualNs) -> bool {
+        let t = self.reqs[id].tenant;
+        let deadline = self.reqs[id].deadline_ns;
+        if !self.shards[s].queue.try_push(t, id, deadline) {
+            return false;
+        }
+        self.shards[s].stats.offered += 1;
+        true
+    }
+
+    fn arrive(&mut self, id: usize, now: VirtualNs) {
+        let t = self.reqs[id].tenant;
+        if self.cfg.fairness {
+            if let Some(bucket) = &mut self.buckets[t] {
+                if !bucket.try_take(now) {
+                    telemetry::instant_args(
+                        "fleet",
+                        "throttled",
+                        arg2(
+                            "req",
+                            ArgValue::U64(id as u64),
+                            "tenant",
+                            ArgValue::U64(t as u64),
+                        ),
+                    );
+                    self.resolve(id, Verdict::Shed(ShedReason::Throttled));
+                    return;
+                }
+            }
+        }
+        let key = self.states[id].route_key;
+        let target = if self.cfg.failover.enabled {
+            let loads = self.loads(now);
+            let Some(s) = self.ring.route(key, &loads, self.cfg.spill_bound_pct) else {
+                // Every shard is dead: nothing can take the request.
+                self.summary.lost_to_shards += 1;
+                self.resolve(id, Verdict::Shed(ShedReason::ShardLost));
+                return;
+            };
+            if Some(s) != self.ring.primary(key) {
+                self.summary.spills += 1;
+            }
+            s
+        } else {
+            // Undefended: clients keep addressing the hash owner even
+            // while it is down, and those requests are simply lost.
+            let s = self.ring.owner(key);
+            if !self.shards[s].alive {
+                self.shards[s].stats.sheds += 1;
+                self.summary.lost_to_shards += 1;
+                self.resolve(id, Verdict::Shed(ShedReason::ShardLost));
+                return;
+            }
+            s
+        };
+        self.states[id].primary = target;
+        if !self.enqueue_on(target, id, now) {
+            self.shards[target].stats.sheds += 1;
+            telemetry::instant_args(
+                "fleet",
+                "shed_queue_full",
+                arg2(
+                    "req",
+                    ArgValue::U64(id as u64),
+                    "shard",
+                    ArgValue::U64(target as u64),
+                ),
+            );
+            if telemetry::active() {
+                telemetry::incident(&format!(
+                    "shed_queue_full req={id} shard={target} t_ns={now}"
+                ));
+            }
+            self.resolve(id, Verdict::Shed(ShedReason::QueueFull));
+            return;
+        }
+        self.states[id].copies = 1;
+        if self.cfg.hedge.enabled && self.ring.alive_count() > 1 {
+            let slack = self.reqs[id].slack_ns(now);
+            let delay = (self.cfg.hedge.delay_us * NS_PER_US).min(slack / 2).max(1);
+            self.events.push(now + delay, Event::Hedge(id));
+        }
+        self.dispatch(target, now);
+    }
+
+    fn hedge(&mut self, id: usize, now: VirtualNs) {
+        if self.reqs[id].verdict.is_some() || self.states[id].hedged {
+            return;
+        }
+        let key = self.states[id].route_key;
+        // Duplicate onto the next distinct alive shard; fall back to the
+        // ring's secondary when the original target is already gone.
+        let twin = match self.ring.secondary(key) {
+            Some(s) if s != self.states[id].primary => Some(s),
+            _ => self
+                .ring
+                .primary(key)
+                .filter(|&s| s != self.states[id].primary),
+        };
+        let Some(twin) = twin else { return };
+        if !self.enqueue_on(twin, id, now) {
+            return; // hedge suppressed: the twin's queue share is full
+        }
+        self.states[id].hedged = true;
+        self.states[id].twin = Some(twin);
+        self.states[id].copies += 1;
+        self.summary.hedges_fired += 1;
+        telemetry::instant_args(
+            "fleet",
+            "hedge_fired",
+            arg2(
+                "req",
+                ArgValue::U64(id as u64),
+                "shard",
+                ArgValue::U64(twin as u64),
+            ),
+        );
+        if telemetry::active() {
+            telemetry::incident_kind(
+                IncidentKind::HedgeFired,
+                &format!("req={id} twin={twin} t_ns={now}"),
+            );
+        }
+        self.dispatch(twin, now);
+    }
+
+    fn dispatch(&mut self, s: usize, now: VirtualNs) {
+        if !self.shards[s].alive {
+            return;
+        }
+        loop {
+            let Some(inst) = self.shards[s].pool.acquire(now) else {
+                if !self.shards[s].queue.is_empty() {
+                    if let Some(at) = self.shards[s].pool.next_dispatchable_at(now) {
+                        self.schedule_wake(s, at);
+                    }
+                }
+                return;
+            };
+            // Pop, skipping stale copies whose twin already resolved the
+            // request (hedge won elsewhere, or failover raced).
+            let id = loop {
+                match self.shards[s].queue.pop() {
+                    None => return,
+                    Some(id) if self.reqs[id].verdict.is_some() => continue,
+                    Some(id) => break id,
+                }
+            };
+
+            let Some(tier_idx) = choose_tier(
+                self.catalog,
+                &self.cfg.shard,
+                &self.reqs[id],
+                self.shards[s].queue.len(),
+                self.shards[s].pool.healthy(now),
+                now,
+            ) else {
+                self.shards[s].stats.sheds += 1;
+                if telemetry::active() {
+                    telemetry::incident(&format!("shed_hopeless req={id} shard={s} t_ns={now}"));
+                }
+                self.copy_dies(id, Verdict::Shed(ShedReason::Hopeless));
+                continue;
+            };
+
+            let mut service_ns = service_time_ns(self.catalog, self.reqs[id].key, tier_idx);
+            let fault = roll_dispatch_fault(
+                &mut self.shards[s].injectors[inst],
+                self.cfg.shard.faults.slow_factor,
+                &mut service_ns,
+            );
+            // A stalled shard serves, just several times slower — the
+            // latency-tail failure hedging is for.
+            if now < self.shards[s].stall_until {
+                service_ns *= self.shards[s].stall_factor.max(1);
+            }
+            self.reqs[id].attempts += 1;
+            self.reqs[id].tier_floor = tier_idx;
+            let token = self.shards[s].dispatch_seq;
+            self.shards[s].dispatch_seq += 1;
+            self.shards[s].inflight[inst] = (id, token);
+            self.shards[s].pool.begin(inst, now, service_ns);
+            telemetry::complete_at(
+                Lane::new("inst", (s * self.cfg.shard.instances + inst) as u32),
+                "fleet",
+                if fault.is_some() {
+                    "serve_faulted"
+                } else {
+                    "serve"
+                },
+                now,
+                service_ns,
+                arg2(
+                    "req",
+                    ArgValue::U64(id as u64),
+                    "tier",
+                    ArgValue::Str(QualityTier::from_index(tier_idx).label()),
+                ),
+            );
+            let epoch = self.shards[s].epoch;
+            self.events.push(
+                now + service_ns,
+                Event::Complete {
+                    shard: s,
+                    inst,
+                    req: id,
+                    epoch,
+                    tier: tier_idx,
+                    token,
+                    fault,
+                },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn complete(
+        &mut self,
+        s: usize,
+        inst: usize,
+        id: usize,
+        epoch: u32,
+        tier: usize,
+        token: u64,
+        fault: Option<FaultKind>,
+        now: VirtualNs,
+    ) {
+        if epoch != self.shards[s].epoch {
+            // The shard crashed while this dispatch ran; the copy was
+            // already failed over or written off at crash time.
+            return;
+        }
+        // Clear the inflight slot unless the instance was re-acquired at
+        // this exact timestamp (the slot then belongs to the next
+        // dispatch and must stay).
+        if self.shards[s].inflight[inst] == (id, token) {
+            self.shards[s].inflight[inst] = (usize::MAX, 0);
+        }
+
+        if let Some(_kind) = fault {
+            self.shards[s].injectors[inst].counters_mut().detected += 1;
+            let quarantined = self
+                .cfg
+                .shard
+                .breaker
+                .on_fault(&mut self.shards[s].pool, inst, now)
+                .is_some();
+            if quarantined {
+                self.shards[s].injectors[inst].counters_mut().quarantined += 1;
+                if telemetry::active() {
+                    telemetry::incident(&format!("quarantine shard={s} inst={inst} t_ns={now}"));
+                }
+                if let Some(at) = self.shards[s].pool.next_dispatchable_at(now) {
+                    self.schedule_wake(s, at);
+                }
+            }
+            if self.reqs[id].verdict.is_some() {
+                return; // a twin already won; drop the faulted copy
+            }
+            if self.reqs[id].attempts > self.cfg.shard.retry.max_retries {
+                if telemetry::active() {
+                    telemetry::incident(&format!(
+                        "failed_faults req={id} shard={s} attempts={} t_ns={now}",
+                        self.reqs[id].attempts
+                    ));
+                }
+                self.copy_dies(id, Verdict::FailedFaults);
+            } else {
+                let shift = (self.reqs[id].attempts - 1).min(16);
+                let backoff = (self.cfg.shard.retry.backoff_us * NS_PER_US) << shift;
+                self.shards[s].injectors[inst].counters_mut().redispatches += 1;
+                self.summary.fleet.retries += 1;
+                self.events
+                    .push(now + backoff, Event::Enqueue { shard: s, req: id });
+            }
+            return;
+        }
+
+        self.shards[s].pool.record_success(inst);
+        if self.reqs[id].verdict.is_some() {
+            // The hedge twin (or a failover copy) already resolved it.
+            self.summary.hedge_wasted += 1;
+            return;
+        }
+        let quality = QualityTier::from_index(tier);
+        let entry = self.catalog.entry(self.reqs[id].key, quality);
+        if entry.solved {
+            let latency = now - self.reqs[id].arrival_ns;
+            let verdict = if now <= self.reqs[id].deadline_ns {
+                Verdict::OnTime {
+                    tier: quality,
+                    latency_ns: latency,
+                }
+            } else {
+                let late_ns = now - self.reqs[id].deadline_ns;
+                if telemetry::active() {
+                    telemetry::incident(&format!(
+                        "deadline_miss req={id} shard={s} tier={} late_ns={late_ns} t_ns={now}",
+                        quality.label()
+                    ));
+                }
+                Verdict::Late {
+                    tier: quality,
+                    latency_ns: latency,
+                }
+            };
+            if self.states[id].twin == Some(s) {
+                self.summary.hedge_wins += 1;
+            }
+            self.summary.fleet.tier_served[tier] += 1;
+            self.latencies.push(latency);
+            self.shards[s].latencies.push(latency);
+            self.shards[s].stats.served += 1;
+            if matches!(verdict, Verdict::OnTime { .. }) {
+                self.shards[s].stats.on_time += 1;
+            }
+            let t = self.reqs[id].tenant;
+            self.tenant_lat[t].push(latency);
+            self.resolve(id, verdict);
+        } else if tier + 1 < QualityTier::COUNT {
+            self.reqs[id].tier_floor = self.reqs[id].tier_floor.max(tier + 1);
+            self.summary.fleet.tier_stepdowns += 1;
+            if !self.enqueue_on(s, id, now) {
+                self.shards[s].stats.sheds += 1;
+                self.copy_dies(id, Verdict::Shed(ShedReason::QueueFull));
+            }
+        } else {
+            self.copy_dies(id, Verdict::Unsolved);
+        }
+    }
+
+    /// A copy re-enters shard `s` (retry backoff, failover, step-down
+    /// deferred through the event queue). Dead-shard targets re-route
+    /// (defended) or die (undefended).
+    fn re_enqueue(&mut self, s: usize, id: usize, now: VirtualNs) {
+        if self.reqs[id].verdict.is_some() {
+            return;
+        }
+        if !self.shards[s].alive {
+            self.failover_copy(id, s, now);
+            return;
+        }
+        if self.enqueue_on(s, id, now) {
+            self.dispatch(s, now);
+        } else {
+            self.shards[s].stats.sheds += 1;
+            self.copy_dies(id, Verdict::Shed(ShedReason::QueueFull));
+        }
+    }
+
+    /// Re-routes one copy off dead shard `from`, consuming failover
+    /// budget; without budget (or an alive target, or failover at all)
+    /// the copy is lost.
+    fn failover_copy(&mut self, id: usize, from: usize, now: VirtualNs) {
+        if self.cfg.failover.enabled && self.states[id].failovers < self.cfg.failover.max_failovers
+        {
+            let loads = self.loads(now);
+            if let Some(target) =
+                self.ring
+                    .route(self.states[id].route_key, &loads, self.cfg.spill_bound_pct)
+            {
+                self.states[id].failovers += 1;
+                self.summary.rerouted += 1;
+                self.events.push(
+                    now,
+                    Event::Enqueue {
+                        shard: target,
+                        req: id,
+                    },
+                );
+                return;
+            }
+        }
+        self.shards[from].stats.sheds += 1;
+        self.summary.lost_to_shards += 1;
+        self.copy_dies(id, Verdict::Shed(ShedReason::ShardLost));
+    }
+
+    fn crash(&mut self, s: usize, duration_ns: VirtualNs, now: VirtualNs) {
+        if !self.shards[s].alive {
+            return; // already down; the earlier rejoin stands
+        }
+        self.shards[s].alive = false;
+        self.shards[s].epoch += 1;
+        self.shards[s].stats.kills += 1;
+        self.summary.shard_kills += 1;
+        if self.cfg.failover.enabled {
+            self.ring.remove(s);
+        }
+        // The pool state dies with the shard: bank its counters and
+        // rebuild it for the rejoin.
+        self.shards[s].busy_accum += self.shards[s].pool.total_busy_ns();
+        self.shards[s].quar_accum += self.shards[s].pool.total_quarantines();
+        self.shards[s].pool = AcceleratorPool::new(self.cfg.shard.instances);
+        self.shards[s].wake_at = None;
+        let mut victims = self.shards[s].queue.drain();
+        for entry in &mut self.shards[s].inflight {
+            if entry.0 != usize::MAX {
+                victims.push(entry.0);
+                *entry = (usize::MAX, 0);
+            }
+        }
+        let before_rerouted = self.summary.rerouted;
+        let before_lost = self.summary.lost_to_shards;
+        for id in victims {
+            if self.reqs[id].verdict.is_some() {
+                continue;
+            }
+            self.failover_copy(id, s, now);
+        }
+        let rerouted = self.summary.rerouted - before_rerouted;
+        let lost = self.summary.lost_to_shards - before_lost;
+        telemetry::instant_args(
+            "fleet",
+            "shard_crash",
+            arg2(
+                "shard",
+                ArgValue::U64(s as u64),
+                "rerouted",
+                ArgValue::U64(rerouted),
+            ),
+        );
+        if telemetry::active() {
+            telemetry::incident_kind(
+                IncidentKind::ShardFailover,
+                &format!("shard={s} rerouted={rerouted} lost={lost} t_ns={now}"),
+            );
+        }
+        self.events.push(now + duration_ns.max(1), Event::Rejoin(s));
+    }
+
+    fn rejoin(&mut self, s: usize, now: VirtualNs) {
+        if self.shards[s].alive {
+            return;
+        }
+        self.shards[s].alive = true;
+        self.shards[s].stall_until = 0;
+        if self.cfg.failover.enabled {
+            self.ring.restore(s);
+            self.shards[s].catchup_until = now + self.cfg.failover.catchup_us * NS_PER_US;
+        }
+        telemetry::instant_args(
+            "fleet",
+            "shard_rejoin",
+            arg2("shard", ArgValue::U64(s as u64), "t_ns", ArgValue::U64(now)),
+        );
+        self.dispatch(s, now);
+    }
+
+    fn chaos(&mut self, idx: usize, now: VirtualNs) {
+        let ev = self.chaos[idx];
+        match ev.kind {
+            ShardFaultKind::Crash => self.crash(ev.shard, ev.duration_ns, now),
+            ShardFaultKind::Stall => {
+                let sh = &mut self.shards[ev.shard];
+                sh.stall_until = sh.stall_until.max(now + ev.duration_ns);
+                sh.stall_factor = ev.slow_factor.max(2);
+                telemetry::instant_args(
+                    "fleet",
+                    "shard_stall",
+                    arg2(
+                        "shard",
+                        ArgValue::U64(ev.shard as u64),
+                        "factor",
+                        ArgValue::U64(sh.stall_factor),
+                    ),
+                );
+            }
+            // `ShardFaultPlan::schedule` unrolls flaps into crashes.
+            ShardFaultKind::Flap => self.crash(ev.shard, ev.duration_ns, now),
+        }
+    }
+}
+
+/// Runs the sharded fleet simulation and returns its summary.
+/// Deterministic: identical inputs yield an identical summary, on any
+/// machine and at any ambient thread count.
+///
+/// `policies` pairs with `tenants` (weights, token buckets, activity
+/// windows); pass an empty slice for all-default policies.
+///
+/// # Panics
+///
+/// Panics if the catalog is empty, `cfg.shards == 0`,
+/// `cfg.shard.instances == 0`, or `policies` is non-empty with a length
+/// different from `tenants`.
+pub fn run_fleet(
+    catalog: &PlanCatalog,
+    tenants: &[TenantSpec],
+    policies: &[TenantPolicy],
+    duration_ns: VirtualNs,
+    cfg: &FleetConfig,
+    chaos_plan: &ShardFaultPlan,
+) -> FleetSummary {
+    assert!(catalog.num_keys() > 0, "empty catalog");
+    assert!(cfg.shards > 0, "fleet needs at least one shard");
+    assert!(
+        policies.is_empty() || policies.len() == tenants.len(),
+        "policies must pair with tenants"
+    );
+    let default_policy = TenantPolicy::default();
+    let policy = |t: usize| {
+        if policies.is_empty() {
+            &default_policy
+        } else {
+            &policies[t]
+        }
+    };
+
+    let mut reqs = Vec::new();
+    let mut states = Vec::new();
+    let mut events = EventQueue::new();
+    let mut tenant_stats = Vec::with_capacity(tenants.len());
+    for (ti, tenant) in tenants.iter().enumerate() {
+        let arrivals = match policy(ti).window_us {
+            Some((start_us, end_us)) => tenant
+                .process
+                .generate_between(start_us * NS_PER_US, (end_us * NS_PER_US).min(duration_ns)),
+            None => tenant.process.generate(duration_ns),
+        };
+        let mut stats = TenantStats::new(tenant.label, duration_ns);
+        for (ai, arrival_ns) in arrivals.into_iter().enumerate() {
+            let key = (mix(cfg.seed ^ ((ti as u64) << 40) ^ ai as u64) % catalog.num_keys() as u64)
+                as usize;
+            let id = reqs.len();
+            reqs.push(Request {
+                tenant: ti,
+                arrival_ns,
+                deadline_ns: arrival_ns + tenant.deadline_us * NS_PER_US,
+                key,
+                attempts: 0,
+                tier_floor: 0,
+                verdict: None,
+            });
+            states.push(ReqState {
+                route_key: ((ti as u64) << 40) ^ key as u64,
+                primary: 0,
+                hedged: false,
+                twin: None,
+                copies: 0,
+                failovers: 0,
+            });
+            stats.offered += 1;
+            events.push(arrival_ns, Event::Arrive(id));
+        }
+        tenant_stats.push(stats);
+    }
+
+    let weights: Vec<u64> = (0..tenants.len()).map(|t| policy(t).weight).collect();
+    let queue_capacity = if cfg.shard.admission {
+        cfg.shard.queue_capacity
+    } else {
+        // The naive baseline queues without bound (capped only to keep
+        // the share arithmetic in range).
+        1 << 32
+    };
+    let shards: Vec<Shard> = (0..cfg.shards)
+        .map(|s| Shard {
+            queue: FairQueue::new(cfg.shard.policy, queue_capacity, &weights, cfg.fairness),
+            pool: AcceleratorPool::new(cfg.shard.instances),
+            injectors: build_injectors(
+                &cfg.shard.faults,
+                cfg.shard.instances,
+                cfg.seed,
+                s as u64 + 1,
+            ),
+            inflight: vec![(usize::MAX, 0); cfg.shard.instances],
+            dispatch_seq: 0,
+            wake_at: None,
+            alive: true,
+            epoch: 0,
+            stall_until: 0,
+            stall_factor: 1,
+            catchup_until: 0,
+            busy_accum: 0,
+            quar_accum: 0,
+            stats: ShardStats::default(),
+            latencies: Vec::new(),
+        })
+        .collect();
+
+    let buckets: Vec<Option<TokenBucket>> = (0..tenants.len())
+        .map(|t| {
+            policy(t)
+                .bucket
+                .map(|(rate, burst)| TokenBucket::new(rate, burst))
+        })
+        .collect();
+
+    let chaos = chaos_plan.schedule(cfg.shards, duration_ns);
+    for (i, ev) in chaos.iter().enumerate() {
+        events.push(ev.at_ns, Event::Chaos(i));
+    }
+
+    let offered = reqs.len() as u64;
+    let mut fleet = Fleet {
+        catalog,
+        cfg,
+        ring: HashRing::new(cfg.shards, cfg.vnodes_per_shard, cfg.seed),
+        reqs,
+        states,
+        shards,
+        buckets,
+        events,
+        chaos,
+        summary: FleetSummary {
+            fleet: ServiceSummary::for_run(duration_ns, cfg.shards * cfg.shard.instances, offered),
+            ..FleetSummary::default()
+        },
+        tenants: tenant_stats,
+        tenant_lat: vec![Vec::new(); tenants.len()],
+        latencies: Vec::new(),
+    };
+
+    while let Some((now, ev)) = fleet.events.pop() {
+        telemetry::set_time(now);
+        match ev {
+            Event::Arrive(id) => fleet.arrive(id, now),
+            Event::Enqueue { shard, req } => fleet.re_enqueue(shard, req, now),
+            Event::Complete {
+                shard,
+                inst,
+                req,
+                epoch,
+                tier,
+                token,
+                fault,
+            } => {
+                fleet.complete(shard, inst, req, epoch, tier, token, fault, now);
+                fleet.dispatch(shard, now);
+            }
+            Event::Wake(s) => {
+                if fleet.shards[s].wake_at.is_some_and(|w| w <= now) {
+                    fleet.shards[s].wake_at = None;
+                }
+                fleet.dispatch(s, now);
+            }
+            Event::Hedge(id) => fleet.hedge(id, now),
+            Event::Chaos(idx) => fleet.chaos(idx, now),
+            Event::Rejoin(s) => fleet.rejoin(s, now),
+        }
+    }
+
+    debug_assert!(
+        fleet.reqs.iter().all(|r| r.verdict.is_some()),
+        "every request must resolve"
+    );
+
+    let mut summary = fleet.summary;
+    for (t, lat) in fleet.tenant_lat.into_iter().enumerate() {
+        fleet.tenants[t].set_latencies(lat);
+    }
+    summary.tenants = fleet.tenants;
+    for mut sh in fleet.shards {
+        summary.fleet.quarantines += sh.quar_accum + sh.pool.total_quarantines();
+        summary.fleet.busy_ns += sh.busy_accum + sh.pool.total_busy_ns();
+        sh.stats.quarantines = sh.quar_accum + sh.pool.total_quarantines();
+        sh.stats.busy_ns = sh.busy_accum + sh.pool.total_busy_ns();
+        for inj in &sh.injectors {
+            summary.fleet.resilience.merge(inj.counters());
+        }
+        sh.stats.set_latencies(std::mem::take(&mut sh.latencies));
+        summary.shards.push(sh.stats);
+    }
+    summary.fleet.set_latencies(fleet.latencies);
+    summary
+}
+
+/// [`run_fleet`] with telemetry: installs a `("fleet", stream_index)`
+/// stream on this thread for the duration of the run, so routing
+/// decisions, shard crashes, hedges, and flight-recorder incidents land
+/// in `session`. The summary is identical to the untraced run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_traced(
+    catalog: &PlanCatalog,
+    tenants: &[TenantSpec],
+    policies: &[TenantPolicy],
+    duration_ns: VirtualNs,
+    cfg: &FleetConfig,
+    chaos_plan: &ShardFaultPlan,
+    session: &telemetry::TelemetrySession,
+    stream_index: u32,
+) -> FleetSummary {
+    let _stream = session.install("fleet", stream_index);
+    run_fleet(catalog, tenants, policies, duration_ns, cfg, chaos_plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_octree::{benchmark_scenes, Scene};
+    use mp_robot::RobotModel;
+    use mp_sim::arrival::{ArrivalKind, ArrivalProcess};
+    use mp_sim::fault::ShardFaultEvent;
+    use std::sync::OnceLock;
+    use threadpool::ThreadPool;
+
+    fn catalog() -> &'static PlanCatalog {
+        static CAT: OnceLock<PlanCatalog> = OnceLock::new();
+        CAT.get_or_init(|| {
+            let scenes: Vec<Scene> = benchmark_scenes().into_iter().take(2).collect();
+            PlanCatalog::build(&RobotModel::jaco2(), &scenes, 2, 3, &ThreadPool::new(2))
+                .expect("catalog builds")
+        })
+    }
+
+    const DURATION: VirtualNs = 50_000_000; // 50 ms simulated
+
+    fn fleet_cfg(shards: usize) -> FleetConfig {
+        FleetConfig {
+            shards,
+            shard: ServiceConfig {
+                instances: 2,
+                ..ServiceConfig::default()
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    fn tenants(rate: f64) -> Vec<TenantSpec> {
+        let deadline_us = (4.0 * catalog().mean_service_us(QualityTier::Full)) as u64;
+        vec![
+            TenantSpec {
+                label: "interactive",
+                process: ArrivalProcess {
+                    kind: ArrivalKind::Poisson,
+                    rate_per_s: rate * 0.7,
+                    seed: 101,
+                },
+                deadline_us,
+            },
+            TenantSpec {
+                label: "batchy",
+                process: ArrivalProcess {
+                    kind: ArrivalKind::Bursty {
+                        burst_factor: 5.0,
+                        period_us: 5_000,
+                        duty: 0.2,
+                    },
+                    rate_per_s: rate * 0.3,
+                    seed: 202,
+                },
+                deadline_us: deadline_us * 2,
+            },
+        ]
+    }
+
+    fn kill_two(at_ns: u64, down_ns: u64) -> ShardFaultPlan {
+        ShardFaultPlan::scripted(
+            5,
+            vec![
+                ShardFaultEvent {
+                    at_ns,
+                    shard: 0,
+                    kind: ShardFaultKind::Crash,
+                    duration_ns: down_ns,
+                    slow_factor: 1,
+                },
+                ShardFaultEvent {
+                    at_ns,
+                    shard: 2,
+                    kind: ShardFaultKind::Crash,
+                    duration_ns: down_ns,
+                    slow_factor: 1,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_and_conserving() {
+        let cfg = fleet_cfg(4);
+        let rate = catalog().saturating_rate_per_s(4 * cfg.shard.instances);
+        let chaos = ShardFaultPlan {
+            crash_rate_per_s: 20.0,
+            stall_rate_per_s: 20.0,
+            flap_rate_per_s: 10.0,
+            ..ShardFaultPlan::none(7)
+        };
+        let a = run_fleet(catalog(), &tenants(rate), &[], DURATION, &cfg, &chaos);
+        let b = run_fleet(catalog(), &tenants(rate), &[], DURATION, &cfg, &chaos);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "summaries differ");
+        let f = &a.fleet;
+        assert_eq!(
+            f.offered,
+            f.on_time + f.late + f.shed() + f.failed_faults + f.unsolved,
+            "every request must resolve exactly once"
+        );
+        assert!(f.offered > 100, "expected meaningful traffic");
+        assert_eq!(a.shards.len(), 4);
+        assert_eq!(a.tenants.len(), 2);
+        assert_eq!(
+            a.tenants.iter().map(|t| t.offered).sum::<u64>(),
+            f.offered,
+            "tenant rows must partition the offered traffic"
+        );
+        assert!(a.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn failover_beats_the_undefended_fleet_through_a_double_kill() {
+        let rate = 1.2 * catalog().saturating_rate_per_s(4 * 2);
+        let chaos = kill_two(DURATION / 4, DURATION / 2);
+        let defended = fleet_cfg(4);
+        let undefended = FleetConfig {
+            failover: FailoverConfig {
+                enabled: false,
+                ..FailoverConfig::default()
+            },
+            hedge: HedgeConfig {
+                enabled: false,
+                delay_us: 400,
+            },
+            fairness: false,
+            ..fleet_cfg(4)
+        };
+        let d = run_fleet(catalog(), &tenants(rate), &[], DURATION, &defended, &chaos);
+        let u = run_fleet(
+            catalog(),
+            &tenants(rate),
+            &[],
+            DURATION,
+            &undefended,
+            &chaos,
+        );
+        assert!(d.shard_kills >= 2 && u.shard_kills >= 2);
+        assert!(
+            d.rerouted > 0,
+            "failover must re-route the dead shards' load"
+        );
+        assert_eq!(d.fleet.shed_shard_lost, d.lost_to_shards);
+        assert!(
+            u.fleet.shed_shard_lost > 0,
+            "undefended kills must lose requests"
+        );
+        assert!(
+            d.fleet.goodput_rps() > u.fleet.goodput_rps(),
+            "defended goodput {:.0} <= undefended {:.0}",
+            d.fleet.goodput_rps(),
+            u.fleet.goodput_rps()
+        );
+    }
+
+    #[test]
+    fn fairness_shields_the_steady_tenant_from_an_adversary() {
+        let rate = catalog().saturating_rate_per_s(4 * 2);
+        let deadline_us = (4.0 * catalog().mean_service_us(QualityTier::Full)) as u64;
+        let steady = TenantSpec {
+            label: "steady",
+            process: ArrivalProcess {
+                kind: ArrivalKind::Poisson,
+                rate_per_s: rate * 0.5,
+                seed: 11,
+            },
+            deadline_us,
+        };
+        let adversary = TenantSpec {
+            label: "adversary",
+            process: ArrivalProcess {
+                kind: ArrivalKind::Adversarial { batch: 64 },
+                rate_per_s: rate * 2.0,
+                seed: 12,
+            },
+            deadline_us,
+        };
+        let policies = vec![
+            TenantPolicy {
+                weight: 4,
+                ..TenantPolicy::default()
+            },
+            TenantPolicy {
+                weight: 1,
+                bucket: Some((rate * 0.5, 32)),
+                ..TenantPolicy::default()
+            },
+        ];
+        let chaos = ShardFaultPlan::none(1);
+        let fair = fleet_cfg(4);
+        let unfair = FleetConfig {
+            fairness: false,
+            ..fleet_cfg(4)
+        };
+        let specs = [steady, adversary];
+        let f = run_fleet(catalog(), &specs, &policies, DURATION, &fair, &chaos);
+        let u = run_fleet(catalog(), &specs, &policies, DURATION, &unfair, &chaos);
+        assert!(
+            f.tenants[1].throttled > 0,
+            "the adversary must hit its token bucket"
+        );
+        assert!(
+            f.tenants[0].on_time > u.tenants[0].on_time,
+            "fairness must shield the steady tenant: fair {} <= unfair {}",
+            f.tenants[0].on_time,
+            u.tenants[0].on_time
+        );
+    }
+
+    #[test]
+    fn hedging_fires_on_a_stalled_shard_and_wins() {
+        let rate = 0.5 * catalog().saturating_rate_per_s(4 * 2);
+        let chaos = ShardFaultPlan::scripted(
+            3,
+            (0..4)
+                .map(|shard| ShardFaultEvent {
+                    at_ns: DURATION / 8,
+                    shard,
+                    kind: ShardFaultKind::Stall,
+                    duration_ns: DURATION / 2,
+                    slow_factor: 16,
+                })
+                .take(1)
+                .collect(),
+        );
+        let hedged = fleet_cfg(4);
+        let unhedged = FleetConfig {
+            hedge: HedgeConfig {
+                enabled: false,
+                delay_us: 400,
+            },
+            ..fleet_cfg(4)
+        };
+        let h = run_fleet(catalog(), &tenants(rate), &[], DURATION, &hedged, &chaos);
+        let n = run_fleet(catalog(), &tenants(rate), &[], DURATION, &unhedged, &chaos);
+        assert!(h.hedges_fired > 0, "stalls must trigger hedges");
+        assert!(h.hedge_wins > 0, "some hedges must win the race");
+        assert_eq!(n.hedges_fired, 0);
+        assert!(
+            h.fleet.on_time >= n.fleet.on_time,
+            "hedging must not lose goodput: {} < {}",
+            h.fleet.on_time,
+            n.fleet.on_time
+        );
+    }
+
+    #[test]
+    fn single_shard_fleet_degenerates_gracefully() {
+        let cfg = FleetConfig {
+            hedge: HedgeConfig {
+                enabled: true,
+                delay_us: 400,
+            },
+            ..fleet_cfg(1)
+        };
+        let rate = 0.5 * catalog().saturating_rate_per_s(cfg.shard.instances);
+        let s = run_fleet(
+            catalog(),
+            &tenants(rate),
+            &[],
+            DURATION,
+            &cfg,
+            &ShardFaultPlan::none(0),
+        );
+        assert_eq!(s.hedges_fired, 0, "nowhere to hedge with one shard");
+        assert_eq!(s.fleet.shed_shard_lost, 0);
+        assert!(s.fleet.on_time > 0);
+    }
+}

@@ -26,6 +26,18 @@
 //! * [`service`] — the discrete-event loop tying it all together;
 //! * [`metrics`] — goodput, miss rate, exact p50/p99/p999, tier mix.
 //!
+//! One shard is still one blast radius, so the service scales out into a
+//! sharded fleet:
+//!
+//! * [`ring`] — consistent-hash ring with bounded-load
+//!   power-of-two-choices spill (minimal key movement on shard death);
+//! * [`tenant`] — per-tenant token-bucket admission and weighted fair
+//!   queueing, so one abusive tenant degrades only itself;
+//! * [`fleet`] — N shards under seeded shard-failure chaos
+//!   (`mp_sim::fault::ShardFaultPlan`): crash failover with re-enqueue
+//!   budgets, rejoin catch-up throttling, and deadline-aware hedged
+//!   requests with first-response-wins cancellation.
+//!
 //! Every run is a pure function of its configuration: seeded arrival
 //! streams (`mp_sim::arrival`), seeded per-instance fault injectors
 //! (`mp_sim::fault`), and integer-nanosecond virtual time
@@ -38,15 +50,21 @@
 pub mod breaker;
 pub mod catalog;
 pub mod degrade;
+pub mod fleet;
 pub mod metrics;
 pub mod queue;
 pub mod request;
+pub mod ring;
 pub mod service;
+pub mod tenant;
 
 pub use breaker::BreakerConfig;
 pub use catalog::{CatalogEntry, PlanCatalog};
 pub use degrade::DegradeConfig;
-pub use metrics::ServiceSummary;
+pub use fleet::{run_fleet, run_fleet_traced, FailoverConfig, FleetConfig, HedgeConfig};
+pub use metrics::{FleetSummary, ServiceSummary, ShardStats, TenantStats};
 pub use queue::{QueuePolicy, RequestQueue};
 pub use request::{Request, ShedReason, TenantSpec, Verdict};
+pub use ring::HashRing;
 pub use service::{run_service, run_service_traced, FaultProfile, RetryConfig, ServiceConfig};
+pub use tenant::{FairQueue, TenantPolicy, TokenBucket};

@@ -24,6 +24,11 @@ pub struct ServiceSummary {
     pub shed_queue_full: u64,
     /// Shed at dispatch: no tier could meet the deadline.
     pub shed_hopeless: u64,
+    /// Shed by per-tenant token-bucket admission (fleet runs only).
+    pub shed_throttled: u64,
+    /// Lost to a shard death with failover off or exhausted (fleet runs
+    /// only).
+    pub shed_shard_lost: u64,
     /// Abandoned after the fault-retry budget ran out.
     pub failed_faults: u64,
     /// Every allowed tier exhausted its budget without a path.
@@ -128,7 +133,7 @@ impl ServiceSummary {
 
     /// Total shed requests.
     pub fn shed(&self) -> u64 {
-        self.shed_queue_full + self.shed_hopeless
+        self.shed_queue_full + self.shed_hopeless + self.shed_throttled + self.shed_shard_lost
     }
 
     /// Exports the whole summary — counts, rates, the latency histogram,
@@ -140,6 +145,8 @@ impl ServiceSummary {
         registry.set_counter(&format!("{prefix}.late"), self.late);
         registry.set_counter(&format!("{prefix}.shed_queue_full"), self.shed_queue_full);
         registry.set_counter(&format!("{prefix}.shed_hopeless"), self.shed_hopeless);
+        registry.set_counter(&format!("{prefix}.shed_throttled"), self.shed_throttled);
+        registry.set_counter(&format!("{prefix}.shed_shard_lost"), self.shed_shard_lost);
         registry.set_counter(&format!("{prefix}.failed_faults"), self.failed_faults);
         registry.set_counter(&format!("{prefix}.unsolved"), self.unsolved);
         registry.set_counter(&format!("{prefix}.retries"), self.retries);
@@ -158,6 +165,180 @@ impl ServiceSummary {
         registry.observe_hist(&format!("{prefix}.latency_ns"), &self.latency_hist);
         self.resilience
             .export_into(&format!("{prefix}.resilience"), registry);
+    }
+}
+
+/// Per-shard outcome of a fleet run. `offered` counts enqueued request
+/// *copies* (retries, failovers, and hedges land on a shard again), so the
+/// shard columns can sum to more than the fleet's offered requests.
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Request copies enqueued on this shard.
+    pub offered: u64,
+    /// Completions (on-time + late) this shard produced.
+    pub served: u64,
+    /// On-time completions this shard produced.
+    pub on_time: u64,
+    /// Copies shed while assigned here (queue full / hopeless / lost).
+    pub sheds: u64,
+    /// Crash episodes this shard suffered.
+    pub kills: u32,
+    /// Busy time across the shard's instances (ns), summed across crash
+    /// epochs.
+    pub busy_ns: u64,
+    /// Circuit-breaker quarantines on this shard's instances.
+    pub quarantines: u64,
+    /// Latencies of requests this shard completed (ns).
+    latency_hist: HistSnapshot,
+}
+
+impl ShardStats {
+    /// Stores and sorts this shard's served-request latencies.
+    pub fn set_latencies(&mut self, mut latencies_ns: Vec<VirtualNs>) {
+        latencies_ns.sort_unstable();
+        let mut hist = HistSnapshot::new();
+        hist.observe_all(&latencies_ns);
+        self.latency_hist = hist;
+    }
+
+    /// 99.9th-percentile latency this shard served (µs); 0 when idle.
+    pub fn p999_us(&self) -> f64 {
+        self.latency_hist
+            .percentile(0.999)
+            .map(|ns| ns as f64 / 1_000.0)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Per-tenant outcome of a fleet run (each request belongs to exactly one
+/// tenant, so tenant rows sum to the fleet totals).
+#[derive(Clone, Debug, Default)]
+pub struct TenantStats {
+    /// Tenant label from its [`crate::request::TenantSpec`].
+    pub label: &'static str,
+    /// Arrival-window length (ns), for rate denominators.
+    pub duration_ns: VirtualNs,
+    /// Requests this tenant offered.
+    pub offered: u64,
+    /// Served before the deadline.
+    pub on_time: u64,
+    /// Served after the deadline.
+    pub late: u64,
+    /// Shed (queue full, hopeless, or shard lost).
+    pub shed: u64,
+    /// Rejected by the tenant's token bucket.
+    pub throttled: u64,
+    /// Latencies of this tenant's served requests (ns).
+    latency_hist: HistSnapshot,
+}
+
+impl TenantStats {
+    /// An empty breakdown for `label` over an arrival window.
+    pub fn new(label: &'static str, duration_ns: VirtualNs) -> TenantStats {
+        TenantStats {
+            label,
+            duration_ns,
+            ..TenantStats::default()
+        }
+    }
+
+    /// Stores and sorts this tenant's served-request latencies.
+    pub fn set_latencies(&mut self, mut latencies_ns: Vec<VirtualNs>) {
+        latencies_ns.sort_unstable();
+        let mut hist = HistSnapshot::new();
+        hist.observe_all(&latencies_ns);
+        self.latency_hist = hist;
+    }
+
+    /// On-time completions per arrival-window second.
+    pub fn goodput_rps(&self) -> f64 {
+        self.on_time as f64 / (self.duration_ns as f64 * 1e-9).max(1e-12)
+    }
+
+    /// Fraction of offered requests that did not complete on time.
+    pub fn miss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        1.0 - self.on_time as f64 / self.offered as f64
+    }
+
+    /// 99.9th-percentile served latency (µs); 0 when nothing was served.
+    pub fn p999_us(&self) -> f64 {
+        self.latency_hist
+            .percentile(0.999)
+            .map(|ns| ns as f64 / 1_000.0)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The outcome of one sharded-fleet run: fleet-wide aggregates (in the
+/// same shape as a single-shard run) plus per-shard and per-tenant
+/// breakdowns and the fleet-only robustness counters.
+#[derive(Clone, Debug, Default)]
+pub struct FleetSummary {
+    /// Fleet-wide aggregates; `instances` is the total across shards.
+    pub fleet: ServiceSummary,
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Per-tenant breakdown, in tenant order.
+    pub tenants: Vec<TenantStats>,
+    /// Shard crash episodes that actually took a live shard down.
+    pub shard_kills: u64,
+    /// Request copies re-routed off a dead shard by failover.
+    pub rerouted: u64,
+    /// Requests lost to shard deaths (failover off or budget exhausted).
+    pub lost_to_shards: u64,
+    /// Hedge duplicates enqueued on a second shard.
+    pub hedges_fired: u64,
+    /// Requests whose winning completion came from the hedge shard.
+    pub hedge_wins: u64,
+    /// Hedge copies that completed after the request was already resolved.
+    pub hedge_wasted: u64,
+    /// Arrivals routed off their primary shard by the bounded-load rule.
+    pub spills: u64,
+}
+
+impl FleetSummary {
+    /// Cross-shard load imbalance: max over mean of per-shard offered
+    /// copies (1.0 = perfectly even; 0 when nothing was offered).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.shards.iter().map(|s| s.offered).max().unwrap_or(0);
+        let sum: u64 = self.shards.iter().map(|s| s.offered).sum();
+        if sum == 0 || self.shards.is_empty() {
+            return 0.0;
+        }
+        max as f64 * self.shards.len() as f64 / sum as f64
+    }
+
+    /// Exports fleet aggregates, robustness counters, and the per-shard /
+    /// per-tenant breakdowns into a telemetry registry.
+    pub fn export_into(&self, prefix: &str, registry: &Registry) {
+        self.fleet.export_into(prefix, registry);
+        registry.set_counter(&format!("{prefix}.shard_kills"), self.shard_kills);
+        registry.set_counter(&format!("{prefix}.rerouted"), self.rerouted);
+        registry.set_counter(&format!("{prefix}.lost_to_shards"), self.lost_to_shards);
+        registry.set_counter(&format!("{prefix}.hedges_fired"), self.hedges_fired);
+        registry.set_counter(&format!("{prefix}.hedge_wins"), self.hedge_wins);
+        registry.set_counter(&format!("{prefix}.hedge_wasted"), self.hedge_wasted);
+        registry.set_counter(&format!("{prefix}.spills"), self.spills);
+        registry.set_gauge(&format!("{prefix}.imbalance"), self.imbalance());
+        for (i, s) in self.shards.iter().enumerate() {
+            let p = format!("{prefix}.shard.{i:02}");
+            registry.set_counter(&format!("{p}.offered"), s.offered);
+            registry.set_counter(&format!("{p}.on_time"), s.on_time);
+            registry.set_counter(&format!("{p}.sheds"), s.sheds);
+            registry.set_counter(&format!("{p}.kills"), s.kills as u64);
+            registry.set_gauge(&format!("{p}.p999_us"), s.p999_us());
+        }
+        for t in &self.tenants {
+            let p = format!("{prefix}.tenant.{}", t.label);
+            registry.set_counter(&format!("{p}.offered"), t.offered);
+            registry.set_counter(&format!("{p}.on_time"), t.on_time);
+            registry.set_counter(&format!("{p}.throttled"), t.throttled);
+            registry.set_gauge(&format!("{p}.goodput_rps"), t.goodput_rps());
+            registry.set_gauge(&format!("{p}.miss_rate"), t.miss_rate());
+        }
     }
 }
 

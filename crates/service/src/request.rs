@@ -25,6 +25,11 @@ pub enum ShedReason {
     /// At dispatch no tier could finish before the deadline; running it
     /// would only burn an instance on a guaranteed miss.
     Hopeless,
+    /// Per-tenant token-bucket admission rejected it (fleet fairness).
+    Throttled,
+    /// Its shard died with the request queued or in flight, and failover
+    /// was off or exhausted (fleet chaos).
+    ShardLost,
 }
 
 /// The final disposition of one request.

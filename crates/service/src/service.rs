@@ -132,15 +132,100 @@ enum Event {
     Wake,
 }
 
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-fn us_to_ns(us: f64) -> VirtualNs {
+pub(crate) fn us_to_ns(us: f64) -> VirtualNs {
     (us * NS_PER_US as f64).round().max(1.0) as VirtualNs
+}
+
+/// Exact service time (ns) of catalog `key` at ladder index `tier_idx`,
+/// before any fault slowdown.
+pub(crate) fn service_time_ns(catalog: &PlanCatalog, key: usize, tier_idx: usize) -> VirtualNs {
+    us_to_ns(
+        catalog
+            .entry(key, QualityTier::from_index(tier_idx))
+            .modeled_us,
+    )
+}
+
+/// The dispatcher's tier decision for one request, shared verbatim by the
+/// single-shard loop and the fleet shards: the congestion controller's
+/// base tier, raised to the request's floor from failed attempts, then
+/// stepped down the ladder until the tier fits the remaining slack.
+/// `None` means no admissible tier fits (the hopeless-shed case; never
+/// returned when admission control is off).
+pub(crate) fn choose_tier(
+    catalog: &PlanCatalog,
+    cfg: &ServiceConfig,
+    req: &Request,
+    queued: usize,
+    healthy: usize,
+    now: VirtualNs,
+) -> Option<usize> {
+    let base = cfg.degrade.load_tier(queued, healthy);
+    let mut tier_idx = base.index().max(req.tier_floor);
+    if cfg.admission {
+        let slack = req.slack_ns(now);
+        while cfg.degrade.enabled
+            && tier_idx + 1 < QualityTier::COUNT
+            && service_time_ns(catalog, req.key, tier_idx) > slack
+        {
+            tier_idx += 1;
+        }
+        if service_time_ns(catalog, req.key, tier_idx) > slack {
+            return None;
+        }
+    }
+    Some(tier_idx)
+}
+
+/// Rolls the fault environment for one dispatch, shared verbatim by both
+/// loops. A slow-unit fault stretches the service time but still
+/// completes (masked); every other kind wastes the dispatch (detected at
+/// completion) and is returned for the retry path.
+pub(crate) fn roll_dispatch_fault(
+    inj: &mut FaultInjector,
+    slow_factor: u64,
+    service_ns: &mut VirtualNs,
+) -> Option<FaultKind> {
+    inj.counters_mut().queries += 1;
+    let mut fault = FaultKind::ALL.into_iter().find(|&k| inj.fires(k));
+    if fault == Some(FaultKind::SlowUnit) {
+        *service_ns *= slow_factor.max(1);
+        inj.counters_mut().masked += 1;
+        fault = None;
+    }
+    fault
+}
+
+/// Builds the seeded per-instance fault injectors for a pool, applying
+/// the lemon multiplier to the configured instance. `salt` separates the
+/// fault streams of different shards in a fleet (0 for a single shard).
+pub(crate) fn build_injectors(
+    faults: &FaultProfile,
+    instances: usize,
+    seed: u64,
+    salt: u64,
+) -> Vec<FaultInjector> {
+    (0..instances)
+        .map(|i| {
+            let rate = faults.rate_per_kind
+                * if faults.lemon == Some(i) {
+                    faults.lemon_factor
+                } else {
+                    1.0
+                };
+            FaultInjector::new(FaultPlan::uniform(
+                rate.min(0.9),
+                mix(seed ^ 0xFA17_0000 ^ (salt << 8) ^ i as u64),
+            ))
+        })
+        .collect()
 }
 
 struct Run<'a> {
@@ -176,6 +261,8 @@ impl Run<'_> {
             Verdict::Late { .. } => self.summary.late += 1,
             Verdict::Shed(ShedReason::QueueFull) => self.summary.shed_queue_full += 1,
             Verdict::Shed(ShedReason::Hopeless) => self.summary.shed_hopeless += 1,
+            Verdict::Shed(ShedReason::Throttled) => self.summary.shed_throttled += 1,
+            Verdict::Shed(ShedReason::ShardLost) => self.summary.shed_shard_lost += 1,
             Verdict::FailedFaults => self.summary.failed_faults += 1,
             Verdict::Unsolved => self.summary.unsolved += 1,
         }
@@ -223,48 +310,38 @@ impl Run<'_> {
 
             // Tier choice: congestion controller first, then the
             // request's floor from failed attempts, then slack-fit.
-            let base = self
-                .cfg
-                .degrade
-                .load_tier(self.queue.len(), self.pool.healthy(now));
-            let mut tier_idx = base.index().max(self.reqs[id].tier_floor);
-            if self.cfg.admission {
+            let Some(tier_idx) = choose_tier(
+                self.catalog,
+                self.cfg,
+                &self.reqs[id],
+                self.queue.len(),
+                self.pool.healthy(now),
+                now,
+            ) else {
                 let slack = self.reqs[id].slack_ns(now);
-                while self.cfg.degrade.enabled
-                    && tier_idx + 1 < QualityTier::COUNT
-                    && self.service_ns(id, tier_idx) > slack
-                {
-                    tier_idx += 1;
+                telemetry::instant_args(
+                    "service",
+                    "shed_hopeless",
+                    arg1("req", ArgValue::U64(id as u64)),
+                );
+                if telemetry::active() {
+                    telemetry::incident(&format!(
+                        "shed_hopeless req={id} slack_ns={slack} t_ns={now}"
+                    ));
                 }
-                if self.service_ns(id, tier_idx) > slack {
-                    telemetry::instant_args(
-                        "service",
-                        "shed_hopeless",
-                        arg1("req", ArgValue::U64(id as u64)),
-                    );
-                    if telemetry::active() {
-                        telemetry::incident(&format!(
-                            "shed_hopeless req={id} slack_ns={slack} t_ns={now}"
-                        ));
-                    }
-                    self.resolve(id, Verdict::Shed(ShedReason::Hopeless));
-                    continue;
-                }
-            }
+                self.resolve(id, Verdict::Shed(ShedReason::Hopeless));
+                continue;
+            };
 
             let mut service_ns = self.service_ns(id, tier_idx);
-            // Roll the fault environment for this dispatch. A slow-unit
-            // fault stretches the service time but still completes
-            // (masked); every other kind wastes the dispatch (detected at
-            // completion by the PR 1 mechanisms) and triggers a retry.
-            let inj = &mut self.injectors[inst];
-            inj.counters_mut().queries += 1;
-            let mut fault = FaultKind::ALL.into_iter().find(|&k| inj.fires(k));
-            if fault == Some(FaultKind::SlowUnit) {
-                service_ns *= self.cfg.faults.slow_factor.max(1);
-                inj.counters_mut().masked += 1;
-                fault = None;
-            }
+            // Roll the fault environment for this dispatch (see
+            // `roll_dispatch_fault`): masked slow-units stretch the
+            // service time; everything else triggers the retry path.
+            let fault = roll_dispatch_fault(
+                &mut self.injectors[inst],
+                self.cfg.faults.slow_factor,
+                &mut service_ns,
+            );
             self.reqs[id].attempts += 1;
             self.inflight[inst] = (id, fault);
             self.reqs[id].tier_floor = tier_idx; // remember the served tier
@@ -422,20 +499,7 @@ pub fn run_service(
         }
     }
 
-    let injectors = (0..cfg.instances)
-        .map(|i| {
-            let rate = cfg.faults.rate_per_kind
-                * if cfg.faults.lemon == Some(i) {
-                    cfg.faults.lemon_factor
-                } else {
-                    1.0
-                };
-            FaultInjector::new(FaultPlan::uniform(
-                rate.min(0.9),
-                mix(cfg.seed ^ 0xFA17_0000 ^ i as u64),
-            ))
-        })
-        .collect();
+    let injectors = build_injectors(&cfg.faults, cfg.instances, cfg.seed, 0);
 
     let summary = ServiceSummary::for_run(duration_ns, cfg.instances, reqs.len() as u64);
     let mut run = Run {

@@ -1,0 +1,88 @@
+//! Property-based tests of the consistent-hash ring: key balance within a
+//! bound at 1/4/16 shards, and minimal key movement on removal/rejoin.
+
+use mp_service::HashRing;
+use proptest::prelude::*;
+
+const KEYS: u64 = 4_096;
+const VNODES: usize = 64;
+
+fn owners(ring: &HashRing) -> Vec<usize> {
+    (0..KEYS).map(|k| ring.primary(k).expect("alive")).collect()
+}
+
+fn shares(ring: &HashRing, shards: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; shards];
+    for owner in owners(ring) {
+        counts[owner] += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With enough vnodes, every shard's share of the key space stays
+    /// within a constant factor of fair at N ∈ {1, 4, 16}.
+    #[test]
+    fn keys_balance_within_bound(seed in any::<u64>()) {
+        for shards in [1usize, 4, 16] {
+            let ring = HashRing::new(shards, VNODES, seed);
+            let counts = shares(&ring, shards);
+            let fair = KEYS as usize / shards;
+            for (shard, &n) in counts.iter().enumerate() {
+                prop_assert!(
+                    n * 2 >= fair && n <= fair * 2,
+                    "seed {seed}: shard {shard}/{shards} owns {n} of {KEYS} keys (fair {fair})"
+                );
+            }
+        }
+    }
+
+    /// Removing one shard moves exactly that shard's keys — everyone
+    /// else's primary is untouched — and restoring it recovers the
+    /// original mapping byte for byte.
+    #[test]
+    fn removal_is_minimal_and_rejoin_exact(seed in any::<u64>(), dead in 0usize..16) {
+        let mut ring = HashRing::new(16, VNODES, seed);
+        let before = owners(&ring);
+        ring.remove(dead);
+        prop_assert_eq!(ring.alive_count(), 15);
+        let during = owners(&ring);
+        for (k, (&b, &d)) in before.iter().zip(&during).enumerate() {
+            if b == dead {
+                prop_assert!(d != dead, "key {k} still routed to the dead shard");
+            } else {
+                prop_assert!(d == b, "key {k} moved although its owner lived");
+            }
+        }
+        ring.restore(dead);
+        prop_assert_eq!(owners(&ring), before, "rejoin must recover the exact mapping");
+    }
+
+    /// The two hedge/spill choices are always alive and distinct whenever
+    /// at least two shards are alive, for any subset of dead shards.
+    #[test]
+    fn primary_and_secondary_stay_alive_and_distinct(
+        seed in any::<u64>(),
+        dead_mask in 0u16..u16::MAX, // never all-dead
+    ) {
+        let mut ring = HashRing::new(16, 8, seed);
+        for shard in 0..16 {
+            if dead_mask & (1 << shard) != 0 {
+                ring.remove(shard);
+            }
+        }
+        for key in 0..256u64 {
+            let p = ring.primary(key).expect("at least one shard alive");
+            prop_assert!(ring.is_alive(p));
+            if ring.alive_count() >= 2 {
+                let s = ring.secondary(key).expect("two alive shards");
+                prop_assert!(ring.is_alive(s));
+                prop_assert_ne!(p, s);
+            } else {
+                prop_assert_eq!(ring.secondary(key), None);
+            }
+        }
+    }
+}

@@ -182,6 +182,22 @@ impl ArrivalProcess {
         }
         out
     }
+
+    /// Generates the stream inside the window `[start_ns, end_ns)`: the
+    /// process runs for `end_ns - start_ns` and is shifted to begin at
+    /// `start_ns`. Used for traffic that switches on mid-run — e.g. an
+    /// adversarial tenant attacking a fleet partway through a soak — while
+    /// keeping the stream a pure function of `(seed, window)`.
+    pub fn generate_between(&self, start_ns: VirtualNs, end_ns: VirtualNs) -> Vec<VirtualNs> {
+        if end_ns <= start_ns {
+            return Vec::new();
+        }
+        let mut out = self.generate(end_ns - start_ns);
+        for t in &mut out {
+            *t += start_ns;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +282,27 @@ mod tests {
         }
         // Batches are spaced by batch/rate = 1 ms.
         assert_eq!(ts[8] - ts[0], 1_000_000);
+    }
+
+    #[test]
+    fn generate_between_shifts_the_window() {
+        let p = ArrivalProcess {
+            kind: ArrivalKind::Poisson,
+            rate_per_s: 50_000.0,
+            seed: 5,
+        };
+        let shifted = p.generate_between(10_000_000, 30_000_000);
+        assert!(!shifted.is_empty());
+        assert!(shifted
+            .iter()
+            .all(|&t| (10_000_000..30_000_000).contains(&t)));
+        let base = p.generate(20_000_000);
+        assert_eq!(shifted.len(), base.len());
+        assert!(shifted
+            .iter()
+            .zip(&base)
+            .all(|(&s, &b)| s == b + 10_000_000));
+        assert!(p.generate_between(5, 5).is_empty());
     }
 
     #[test]

@@ -220,6 +220,180 @@ impl ResilienceCounters {
     }
 }
 
+/// The kinds of *shard-level* failure the fleet chaos injector can
+/// introduce. Component-level faults ([`FaultKind`]) strike one dispatch
+/// on one accelerator; shard failures take a whole service shard — its
+/// queue, its accelerator pool, its in-flight requests — out of the
+/// serving set at once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShardFaultKind {
+    /// The shard dies outright: queued and in-flight requests are lost
+    /// unless the fleet fails them over, and the ring must route around
+    /// it until it rejoins.
+    Crash,
+    /// The shard keeps serving but every dispatch runs several times
+    /// slower than modeled (event-loop stall, thermal throttling, a noisy
+    /// neighbor on the host) — the latency-tail case hedging exists for.
+    Stall,
+    /// The shard flaps: a burst of short crash/rejoin cycles, the worst
+    /// case for failover bookkeeping and catch-up admission.
+    Flap,
+}
+
+impl ShardFaultKind {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardFaultKind::Crash => "crash",
+            ShardFaultKind::Stall => "stall",
+            ShardFaultKind::Flap => "flap",
+        }
+    }
+}
+
+/// One scheduled shard failure: at `at_ns`, shard `shard` suffers `kind`
+/// for `duration_ns` (for [`ShardFaultKind::Stall`], dispatches begun in
+/// the window run `slow_factor`× slower; a `Flap` is expanded into short
+/// crashes by [`ShardFaultPlan::schedule`], so schedules only ever
+/// contain crashes and stalls).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardFaultEvent {
+    /// Virtual time the failure begins (ns).
+    pub at_ns: u64,
+    /// Index of the afflicted shard.
+    pub shard: usize,
+    /// What happens to it.
+    pub kind: ShardFaultKind,
+    /// How long the failure lasts (ns).
+    pub duration_ns: u64,
+    /// Service-time multiplier while stalled (ignored for crashes).
+    pub slow_factor: u64,
+}
+
+/// A seeded shard-failure campaign: scripted kills (the reproducible
+/// "kill 2 of 16 shards mid-run" scenario) plus per-shard random crash /
+/// stall / flap processes. A plan is a pure function of its seed, so a
+/// chaos soak replays identically on any machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardFaultPlan {
+    /// Seed for the random failure processes.
+    pub seed: u64,
+    /// Explicitly scheduled failures, applied verbatim (flaps expanded).
+    pub scripted: Vec<ShardFaultEvent>,
+    /// Poisson rate of random crashes per shard per second.
+    pub crash_rate_per_s: f64,
+    /// Downtime of a random crash (µs).
+    pub crash_down_us: u64,
+    /// Poisson rate of random stalls per shard per second.
+    pub stall_rate_per_s: f64,
+    /// Length of a random stall (µs).
+    pub stall_dur_us: u64,
+    /// Service-time multiplier while stalled.
+    pub stall_factor: u64,
+    /// Poisson rate of random flap episodes per shard per second.
+    pub flap_rate_per_s: f64,
+    /// Crash/rejoin cycles per flap episode.
+    pub flap_cycles: u32,
+    /// Length of one flap cycle (µs); the shard is down for half of it.
+    pub flap_period_us: u64,
+}
+
+impl ShardFaultPlan {
+    /// A failure-free plan.
+    pub fn none(seed: u64) -> ShardFaultPlan {
+        ShardFaultPlan {
+            seed,
+            scripted: Vec::new(),
+            crash_rate_per_s: 0.0,
+            crash_down_us: 10_000,
+            stall_rate_per_s: 0.0,
+            stall_dur_us: 5_000,
+            stall_factor: 8,
+            flap_rate_per_s: 0.0,
+            flap_cycles: 3,
+            flap_period_us: 2_000,
+        }
+    }
+
+    /// A plan with only the given scripted failures.
+    pub fn scripted(seed: u64, events: Vec<ShardFaultEvent>) -> ShardFaultPlan {
+        ShardFaultPlan {
+            scripted: events,
+            ..ShardFaultPlan::none(seed)
+        }
+    }
+
+    /// Whether the plan can produce any failure at all.
+    pub fn is_failure_free(&self) -> bool {
+        self.scripted.is_empty()
+            && self.crash_rate_per_s <= 0.0
+            && self.stall_rate_per_s <= 0.0
+            && self.flap_rate_per_s <= 0.0
+    }
+
+    /// Expands the plan into the failure schedule for a fleet of
+    /// `shards` shards over `duration_ns` of virtual time: scripted
+    /// events plus seeded Poisson draws per shard per kind, flaps
+    /// unrolled into short crashes, sorted by `(at_ns, shard, kind)` so
+    /// the schedule is deterministic and stable.
+    pub fn schedule(&self, shards: usize, duration_ns: u64) -> Vec<ShardFaultEvent> {
+        let mut out = Vec::new();
+        for ev in &self.scripted {
+            if ev.shard >= shards || ev.at_ns >= duration_ns {
+                continue;
+            }
+            if ev.kind == ShardFaultKind::Flap {
+                self.push_flap(&mut out, ev.shard, ev.at_ns);
+            } else {
+                out.push(*ev);
+            }
+        }
+        for shard in 0..shards {
+            let base = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(shard as u64);
+            for at in poisson_times(base ^ 0xC4A5, self.crash_rate_per_s, duration_ns) {
+                out.push(ShardFaultEvent {
+                    at_ns: at,
+                    shard,
+                    kind: ShardFaultKind::Crash,
+                    duration_ns: self.crash_down_us * 1_000,
+                    slow_factor: 1,
+                });
+            }
+            for at in poisson_times(base ^ 0x57A1, self.stall_rate_per_s, duration_ns) {
+                out.push(ShardFaultEvent {
+                    at_ns: at,
+                    shard,
+                    kind: ShardFaultKind::Stall,
+                    duration_ns: self.stall_dur_us * 1_000,
+                    slow_factor: self.stall_factor.max(2),
+                });
+            }
+            for at in poisson_times(base ^ 0xF1A9, self.flap_rate_per_s, duration_ns) {
+                self.push_flap(&mut out, shard, at);
+            }
+        }
+        out.sort_by_key(|e| (e.at_ns, e.shard, e.kind.label()));
+        out
+    }
+
+    /// Unrolls one flap episode into its crash/rejoin cycles.
+    fn push_flap(&self, out: &mut Vec<ShardFaultEvent>, shard: usize, at_ns: u64) {
+        let period = self.flap_period_us.max(2) * 1_000;
+        for cycle in 0..self.flap_cycles.max(1) as u64 {
+            out.push(ShardFaultEvent {
+                at_ns: at_ns + cycle * period,
+                shard,
+                kind: ShardFaultKind::Crash,
+                duration_ns: period / 2,
+                slow_factor: 1,
+            });
+        }
+    }
+}
+
 /// Number of data bits in a packed octree node word.
 pub const SRAM_WORD_BITS: u32 = 24;
 
@@ -270,6 +444,26 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Sorted Poisson event times in `[0, duration_ns)` at `rate_per_s`,
+/// seeded (splitmix64 stream; one draw per event).
+fn poisson_times(seed: u64, rate_per_s: f64, duration_ns: u64) -> Vec<u64> {
+    if rate_per_s <= 0.0 || duration_ns == 0 {
+        return Vec::new();
+    }
+    let rate_per_ns = rate_per_s * 1e-9;
+    let mut state = seed;
+    let mut t = 0.0f64;
+    let mut out = Vec::new();
+    loop {
+        let u = (splitmix64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        t += -(1.0 - u).ln() / rate_per_ns;
+        if t >= duration_ns as f64 {
+            return out;
+        }
+        out.push(t as u64);
+    }
 }
 
 impl FaultInjector {
@@ -450,6 +644,59 @@ mod tests {
             assert_ne!(parity24(upset.word), stored_parity);
         }
         assert!(parity_hits > 0, "parity bit never targeted in 200 upsets");
+    }
+
+    #[test]
+    fn shard_plan_schedule_is_deterministic_and_sorted() {
+        let plan = ShardFaultPlan {
+            crash_rate_per_s: 40.0,
+            stall_rate_per_s: 20.0,
+            flap_rate_per_s: 10.0,
+            ..ShardFaultPlan::none(9)
+        };
+        let a = plan.schedule(8, 200_000_000);
+        let b = plan.schedule(8, 200_000_000);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "rates this high must draw events");
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns), "unsorted");
+        assert!(a.iter().all(|e| e.shard < 8 && e.at_ns < 200_000_000));
+        // Flaps were unrolled: only crashes and stalls survive expansion.
+        assert!(a.iter().all(|e| e.kind != ShardFaultKind::Flap));
+        let other = ShardFaultPlan { seed: 10, ..plan };
+        assert_ne!(other.schedule(8, 200_000_000), a);
+    }
+
+    #[test]
+    fn scripted_kills_survive_and_flaps_unroll() {
+        let kill = |shard, at_ns| ShardFaultEvent {
+            at_ns,
+            shard,
+            kind: ShardFaultKind::Crash,
+            duration_ns: 5_000_000,
+            slow_factor: 1,
+        };
+        let flap = ShardFaultEvent {
+            at_ns: 1_000,
+            shard: 1,
+            kind: ShardFaultKind::Flap,
+            duration_ns: 0,
+            slow_factor: 1,
+        };
+        let plan = ShardFaultPlan::scripted(3, vec![kill(2, 10_000), kill(9, 10_000), flap]);
+        assert!(!plan.is_failure_free());
+        let sched = plan.schedule(4, 100_000_000);
+        // Shard 9 is out of range for a 4-shard fleet and is dropped.
+        assert!(sched.iter().all(|e| e.shard < 4));
+        assert_eq!(
+            sched
+                .iter()
+                .filter(|e| e.shard == 1 && e.kind == ShardFaultKind::Crash)
+                .count(),
+            plan.flap_cycles as usize,
+            "the flap unrolls into its crash cycles"
+        );
+        assert!(sched.iter().any(|e| e.shard == 2 && e.at_ns == 10_000));
+        assert!(ShardFaultPlan::none(0).schedule(16, 1_000_000).is_empty());
     }
 
     #[test]

@@ -11,6 +11,67 @@
 use crate::event::{ArgValue, Event, EventKind, TimeNs};
 use crate::sink::Stream;
 
+/// The well-known incident kinds the stack reports. The kind is encoded
+/// as the first whitespace-delimited token of the incident reason, which
+/// is also what the sink's per-kind retention cap keys on — so a flood of
+/// hedges can't evict the one shard-failover snapshot, and vice versa.
+///
+/// Free-form reasons (any other first token) remain valid; this enum just
+/// names the kinds the service, fleet, and accelerator layers emit so
+/// call sites and post-mortem tooling agree on the spelling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IncidentKind {
+    /// A request completed after its deadline.
+    DeadlineMiss,
+    /// Admission control dropped a request because the bounded queue was
+    /// full.
+    ShedQueueFull,
+    /// The dispatcher dropped a request no tier could serve in time.
+    ShedHopeless,
+    /// A request exhausted its fault-retry budget.
+    FailedFaults,
+    /// The circuit breaker quarantined an accelerator instance.
+    Quarantine,
+    /// A shard died and its keys/in-flight requests were re-routed (or
+    /// lost, for an undefended fleet).
+    ShardFailover,
+    /// A hedge was duplicated to a second shard after the hedge delay.
+    HedgeFired,
+}
+
+impl IncidentKind {
+    /// All well-known kinds, in a fixed order.
+    pub const ALL: [IncidentKind; 7] = [
+        IncidentKind::DeadlineMiss,
+        IncidentKind::ShedQueueFull,
+        IncidentKind::ShedHopeless,
+        IncidentKind::FailedFaults,
+        IncidentKind::Quarantine,
+        IncidentKind::ShardFailover,
+        IncidentKind::HedgeFired,
+    ];
+
+    /// The reason-prefix token for this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            IncidentKind::DeadlineMiss => "deadline_miss",
+            IncidentKind::ShedQueueFull => "shed_queue_full",
+            IncidentKind::ShedHopeless => "shed_hopeless",
+            IncidentKind::FailedFaults => "failed_faults",
+            IncidentKind::Quarantine => "quarantine",
+            IncidentKind::ShardFailover => "shard_failover",
+            IncidentKind::HedgeFired => "hedge_fired",
+        }
+    }
+}
+
+/// Records an incident of a well-known kind: the reason is
+/// `"<kind label> <detail>"`, so the per-kind snapshot cap groups it with
+/// its peers. Allocates; guard hot call sites with [`crate::active`].
+pub fn incident_kind(kind: IncidentKind, detail: &str) {
+    crate::incident(&format!("{} {detail}", kind.label()));
+}
+
 /// One captured incident: the reason and the events leading up to it.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Incident {
@@ -36,6 +97,22 @@ pub fn flight_report(streams: &[Stream]) -> String {
     out.push_str(&format!(
         "flight recorder: {total} incident(s) observed, {kept} snapshot(s) kept\n"
     ));
+    // Tally the kept snapshots by kind (reason's first token), sorted by
+    // label for determinism, so a post-mortem leads with the shape of the
+    // failure before the per-incident detail.
+    let mut by_kind: Vec<(&str, usize)> = Vec::new();
+    for inc in ordered.iter().flat_map(|s| s.incidents.iter()) {
+        let kind = inc.reason.split_whitespace().next().unwrap_or("");
+        match by_kind.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => by_kind.push((kind, 1)),
+        }
+    }
+    by_kind.sort_unstable();
+    if !by_kind.is_empty() {
+        let cells: Vec<String> = by_kind.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        out.push_str(&format!("kinds kept: {}\n", cells.join(" ")));
+    }
     for stream in ordered {
         if stream.incidents.is_empty() {
             continue;
@@ -118,6 +195,49 @@ mod tests {
         assert!(report.contains("deadline_miss req=1 late_us=310"));
         assert!(report.contains("event service:enqueue req=1"));
         assert!(report.contains("event service:complete_late"));
+    }
+
+    #[test]
+    fn fleet_incident_kinds_are_capped_independently() {
+        let session = TelemetrySession::with_config(SinkConfig {
+            max_incidents: 2,
+            ..SinkConfig::default()
+        });
+        {
+            let _g = session.install("fleet", 0);
+            crate::set_time(5_000);
+            // A flood of hedges must not evict the lone failover snapshot.
+            for req in 0..5u64 {
+                incident_kind(IncidentKind::HedgeFired, &format!("req={req} shard=3"));
+            }
+            incident_kind(IncidentKind::ShardFailover, "shard=7 rerouted=12");
+        }
+        let streams = session.streams();
+        let kept: Vec<&str> = streams[0]
+            .incidents
+            .iter()
+            .map(|i| i.reason.as_str())
+            .collect();
+        assert_eq!(
+            kept,
+            [
+                "hedge_fired req=0 shard=3",
+                "hedge_fired req=1 shard=3",
+                "shard_failover shard=7 rerouted=12",
+            ]
+        );
+        let report = flight_report(&streams);
+        assert!(report.contains("6 incident(s) observed, 3 snapshot(s) kept"));
+        assert!(report.contains("kinds kept: hedge_fired=2 shard_failover=1"));
+    }
+
+    #[test]
+    fn kind_labels_are_the_reason_prefixes() {
+        for kind in IncidentKind::ALL {
+            assert!(!kind.label().contains(char::is_whitespace));
+        }
+        assert_eq!(IncidentKind::ShardFailover.label(), "shard_failover");
+        assert_eq!(IncidentKind::HedgeFired.label(), "hedge_fired");
     }
 
     #[test]

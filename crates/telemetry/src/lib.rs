@@ -58,7 +58,7 @@ pub mod sink;
 
 pub use chrome::{chrome_trace_json, validate_json};
 pub use event::{arg1, arg2, Arg, ArgValue, Args, Event, EventKind, Lane, TimeNs, NO_ARGS};
-pub use flight::{flight_report, Incident};
+pub use flight::{flight_report, incident_kind, Incident, IncidentKind};
 pub use metrics::{
     bucket_index, bucket_range, Counter, Gauge, HistSnapshot, Histogram, Metric, Registry,
 };
