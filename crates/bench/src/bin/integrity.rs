@@ -1,35 +1,33 @@
-//! Runs the fleet chaos soak: the 16-shard multi-tenant planning fleet
-//! through a mid-run double shard kill and an adversarial tenant. Usage:
+//! Runs the integrity soak: silent-data-corruption rate × defense policy
+//! (undefended / certify / certify-vote-scrub) at 2× saturation. Usage:
 //!
 //! ```text
-//! cargo run -p mp-bench --release --bin fleet_soak [-- --out FILE]
-//!     [--csv FILE] [--scaling-csv FILE] [--trace FILE] [--flight FILE]
-//!     [--metrics FILE]
+//! cargo run -p mp-bench --release --bin integrity [-- --out FILE]
+//!     [--csv FILE] [--trace FILE] [--flight FILE] [--metrics FILE]
 //! ```
 //!
-//! Prints the report (fleet, per-tenant, and per-shard rows) to stdout;
-//! `--out` additionally writes the text report and `--csv` the CSV table.
-//! `--scaling-csv` runs the extra goodput-vs-shards sweep (1/2/4/8/16/32
-//! shards at the fixed 16-shard offered load) and writes its CSV.
-//! Set `MPACCEL_BENCH_SCALE=full` for paper-scale workloads and
-//! `MPACCEL_THREADS` for the catalog-build pool width (the report is
-//! byte-identical at any width).
+//! Prints the report to stdout; `--out` additionally writes the text
+//! report and `--csv` the CSV table. Set `MPACCEL_BENCH_SCALE=full` for
+//! paper-scale workloads and `MPACCEL_THREADS` for the catalog-build pool
+//! width (the report is byte-identical at any width).
 //!
 //! The telemetry flags run one extra fully-instrumented capture of the
-//! `chaos-defended` scenario (catalog build + double-kill fleet run):
+//! worst-case defended run (SDC rate 1e-3, certify-vote-scrub):
 //!
 //! * `--trace FILE` — Chrome trace-event JSON (open in Perfetto);
 //!   validated before it is written.
 //! * `--flight FILE` — flight-recorder snapshots: the spans leading up to
-//!   each shard failover / hedge / deadline miss / shed incident.
-//! * `--metrics FILE` — unified metrics registry dump with per-shard and
-//!   per-tenant series (text table, or CSV when the path ends in `.csv`).
+//!   each certification rejection / liar benching / scrub readmission —
+//!   the raw material of the SDC post-mortem in `EXPERIMENTS.md`.
+//! * `--metrics FILE` — unified metrics registry dump including the
+//!   `service.integrity.*` counters and the certification-cost histogram
+//!   (text table, or CSV when the path ends in `.csv`).
 
 use std::process::ExitCode;
 
 fn write_file(what: &str, path: &str, content: &str) -> Result<(), ExitCode> {
     std::fs::write(path, content).map_err(|e| {
-        eprintln!("fleet_soak: cannot write {what} to `{path}`: {e}");
+        eprintln!("integrity: cannot write {what} to `{path}`: {e}");
         ExitCode::FAILURE
     })
 }
@@ -37,7 +35,6 @@ fn write_file(what: &str, path: &str, content: &str) -> Result<(), ExitCode> {
 fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut csv: Option<String> = None;
-    let mut scaling_csv: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut flight: Option<String> = None;
     let mut metrics: Option<String> = None;
@@ -45,15 +42,14 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         let flag = arg.as_str();
         match flag {
-            "--out" | "--csv" | "--scaling-csv" | "--trace" | "--flight" | "--metrics" => {
+            "--out" | "--csv" | "--trace" | "--flight" | "--metrics" => {
                 let Some(path) = args.next() else {
-                    eprintln!("fleet_soak: {flag} requires a file path");
+                    eprintln!("integrity: {flag} requires a file path");
                     return ExitCode::from(2);
                 };
                 match flag {
                     "--out" => out = Some(path),
                     "--csv" => csv = Some(path),
-                    "--scaling-csv" => scaling_csv = Some(path),
                     "--trace" => trace = Some(path),
                     "--flight" => flight = Some(path),
                     _ => metrics = Some(path),
@@ -61,19 +57,19 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: fleet_soak [--out FILE] [--csv FILE] [--scaling-csv FILE] [--trace FILE] [--flight FILE] [--metrics FILE]"
+                    "usage: integrity [--out FILE] [--csv FILE] [--trace FILE] [--flight FILE] [--metrics FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
             other => {
-                eprintln!("fleet_soak: unknown argument `{other}` (try --help)");
+                eprintln!("integrity: unknown argument `{other}` (try --help)");
                 return ExitCode::from(2);
             }
         }
     }
 
     let scale = mp_bench::Scale::from_env();
-    let report = mp_bench::experiments::fleet::run(scale);
+    let report = mp_bench::experiments::integrity::run(scale);
     println!("{report}");
     let write = |what: &str, path: &Option<String>, content: &dyn Fn() -> String| match path {
         Some(p) => write_file(what, p, &content()),
@@ -84,24 +80,16 @@ fn main() -> ExitCode {
     {
         return code;
     }
-    if let Some(path) = &scaling_csv {
-        // The goodput-vs-shards curve (1..32 shards, fixed offered load).
-        let scaling = mp_bench::experiments::fleet::scaling_report(scale);
-        println!("{scaling}");
-        if let Err(code) = write_file("scaling CSV", path, &scaling.to_csv()) {
-            return code;
-        }
-    }
 
     if trace.is_some() || flight.is_some() || metrics.is_some() {
-        use mp_bench::experiments::fleet::{capture_trace, metrics_registry};
+        use mp_bench::experiments::integrity::{capture_trace, metrics_registry};
         let pool = threadpool::ThreadPool::from_env();
         let (session, summary) = capture_trace(scale, &pool);
         let streams = session.streams();
         if let Some(path) = &trace {
             let json = mp_telemetry::chrome_trace_json(&streams);
             if let Err(e) = mp_telemetry::validate_json(&json) {
-                eprintln!("fleet_soak: generated trace JSON is invalid: {e}");
+                eprintln!("integrity: generated trace JSON is invalid: {e}");
                 return ExitCode::FAILURE;
             }
             if let Err(code) = write_file("trace", path, &json) {
@@ -109,7 +97,7 @@ fn main() -> ExitCode {
             }
             let events: usize = streams.iter().map(|s| s.events.len()).sum();
             eprintln!(
-                "fleet_soak: wrote {events} events across {} streams to `{path}` (open in https://ui.perfetto.dev)",
+                "integrity: wrote {events} events across {} streams to `{path}` (open in https://ui.perfetto.dev)",
                 streams.len()
             );
         }
@@ -122,7 +110,7 @@ fn main() -> ExitCode {
                 return code;
             }
             eprintln!(
-                "fleet_soak: wrote flight recorder ({} incidents seen) to `{path}`",
+                "integrity: wrote flight recorder ({} incidents seen) to `{path}`",
                 session.incidents_seen()
             );
         }
@@ -136,7 +124,7 @@ fn main() -> ExitCode {
             if let Err(code) = write_file("metrics", path, &dump) {
                 return code;
             }
-            eprintln!("fleet_soak: wrote {} metrics to `{path}`", reg.len());
+            eprintln!("integrity: wrote {} metrics to `{path}`", reg.len());
         }
     }
     ExitCode::SUCCESS

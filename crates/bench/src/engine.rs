@@ -61,6 +61,8 @@ pub fn experiments() -> Vec<Experiment> {
         exp!(faults),
         exp!(soak),
         exp!(fleet),
+        exp!(fleet_scaling),
+        exp!(integrity),
     ]
 }
 
@@ -283,11 +285,11 @@ mod tests {
     #[test]
     fn suite_is_complete_and_uniquely_named() {
         let all = experiments();
-        assert_eq!(all.len(), 18);
+        assert_eq!(all.len(), 20);
         let mut names: Vec<&str> = all.iter().map(|x| x.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 18, "duplicate experiment names");
+        assert_eq!(names.len(), 20, "duplicate experiment names");
     }
 
     #[test]

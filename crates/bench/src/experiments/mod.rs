@@ -18,6 +18,8 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod fleet;
+pub mod fleet_scaling;
+pub mod integrity;
 pub mod planners;
 pub mod soak;
 pub mod table1;

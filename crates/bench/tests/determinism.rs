@@ -9,7 +9,7 @@
 //! campaign's catalog cache (soak).
 
 use mp_bench::engine::{run_selected, select};
-use mp_bench::experiments::{fleet, soak};
+use mp_bench::experiments::{fleet, integrity, soak};
 use mp_bench::Scale;
 use threadpool::ThreadPool;
 
@@ -68,6 +68,23 @@ fn fleet_soak_is_byte_identical_at_one_and_eight_threads() {
     let eight = fleet::run_with_pool(Scale::Quick, &ThreadPool::new(8)).to_string();
     assert!(one.contains("chaos-defended") && one.contains("shard:15"));
     assert_eq!(one, eight, "fleet report differs between 1 and 8 threads");
+}
+
+#[test]
+fn integrity_soak_is_byte_identical_at_one_and_eight_threads() {
+    // The integrity contract: the SDC-rate x defense-policy sweep —
+    // seeded corruption streams, certification, suspicion-scored voting,
+    // scrub readmission — renders byte-identically whatever the
+    // catalog-build pool width. Certification costs are measured during
+    // the catalog build (which fans out), so this crosses the one shared
+    // surface the new pipeline added.
+    let one = integrity::run_with_pool(Scale::Quick, &ThreadPool::new(1)).to_string();
+    let eight = integrity::run_with_pool(Scale::Quick, &ThreadPool::new(8)).to_string();
+    assert!(one.contains("certify-vote-scrub") && one.contains("undefended"));
+    assert_eq!(
+        one, eight,
+        "integrity report differs between 1 and 8 threads"
+    );
 }
 
 #[test]

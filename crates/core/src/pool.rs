@@ -134,6 +134,13 @@ impl AcceleratorPool {
         self.stats[i].quarantines += 1;
     }
 
+    /// Ends instance `i`'s quarantine at `now` (scrub readmission): the
+    /// instance becomes dispatchable immediately. A no-op when the
+    /// quarantine already expired.
+    pub fn readmit(&mut self, i: usize, now: u64) {
+        self.quarantined_until[i] = self.quarantined_until[i].min(now);
+    }
+
     /// Per-instance statistics.
     pub fn stats(&self, i: usize) -> &InstanceStats {
         &self.stats[i]
@@ -181,6 +188,20 @@ mod tests {
         assert_eq!(p.acquire(0), None);
         assert_eq!(p.next_dispatchable_at(0), Some(500));
         assert_eq!(p.acquire(500), Some(0));
+        assert_eq!(p.total_quarantines(), 1);
+    }
+
+    #[test]
+    fn readmit_cuts_a_quarantine_short() {
+        let mut p = AcceleratorPool::new(2);
+        p.quarantine(0, 10_000);
+        assert!(p.is_quarantined(0, 100));
+        p.readmit(0, 100);
+        assert!(!p.is_quarantined(0, 100));
+        assert_eq!(p.acquire(100), Some(0));
+        // Readmitting an already-healthy instance changes nothing.
+        p.readmit(1, 100);
+        assert_eq!(p.healthy(100), 2);
         assert_eq!(p.total_quarantines(), 1);
     }
 

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod mpnet;
 pub mod nn;
 pub mod queries;
@@ -29,10 +30,11 @@ pub mod rrt;
 pub mod sampler;
 pub mod tiers;
 
+pub use certify::{CertifyOutcome, PlanCertifier, CERTIFY_QUERY_MODELED_US};
 pub use mpnet::{
     plan, plan_with_fallback, BudgetResource, FallbackPlanOutcome, MpnetConfig, PlanBudget,
     PlanFailure, PlanOutcome, PlanStats,
 };
 pub use rrt::{rrt, rrt_connect, RrtConfig, RrtOutcome};
 pub use sampler::{encode_scene, MlpSampler, NeuralSampler, OracleSampler};
-pub use tiers::{plan_at_tier, QualityTier, TierOutcome};
+pub use tiers::{plan_at_tier, plan_at_tier_with_path, QualityTier, TierOutcome};

@@ -187,31 +187,51 @@ pub fn plan_at_tier(
     tier: QualityTier,
     seed: u64,
 ) -> TierOutcome {
+    plan_at_tier_with_path(checker, sampler, start, goal, tier, seed).0
+}
+
+/// Like [`plan_at_tier`], but also returns the solved path's waypoints so
+/// the caller can certify them through an independent checker (see
+/// [`crate::certify::PlanCertifier`]). `None` when the attempt failed.
+pub fn plan_at_tier_with_path(
+    checker: &mut impl CollisionChecker,
+    sampler: &mut impl NeuralSampler,
+    start: &JointConfig,
+    goal: &JointConfig,
+    tier: QualityTier,
+    seed: u64,
+) -> (TierOutcome, Option<Vec<JointConfig>>) {
     let span = mp_telemetry::span_args(
         "planner",
         "plan",
         mp_telemetry::arg1("tier", mp_telemetry::ArgValue::Str(tier.label())),
     );
-    let outcome = match tier.mpnet_config(seed) {
+    let (outcome, path) = match tier.mpnet_config(seed) {
         Some(cfg) => {
             let out = plan(checker, sampler, start, goal, &cfg);
-            TierOutcome {
-                tier,
-                solved: out.solved(),
-                cd_queries: out.stats.cd_queries,
-                nn_calls: out.stats.nn_calls,
-                modeled_us: PlanBudget::modeled_us(out.stats.cd_queries, out.stats.nn_calls),
-            }
+            (
+                TierOutcome {
+                    tier,
+                    solved: out.solved(),
+                    cd_queries: out.stats.cd_queries,
+                    nn_calls: out.stats.nn_calls,
+                    modeled_us: PlanBudget::modeled_us(out.stats.cd_queries, out.stats.nn_calls),
+                },
+                out.path,
+            )
         }
         None => {
             let out = rrt_connect(checker, start, goal, &tier.rrt_config(), seed);
-            TierOutcome {
-                tier,
-                solved: out.solved(),
-                cd_queries: out.cd_queries,
-                nn_calls: 0,
-                modeled_us: out.cd_queries as f64 * CD_QUERY_MODELED_US,
-            }
+            (
+                TierOutcome {
+                    tier,
+                    solved: out.solved(),
+                    cd_queries: out.cd_queries,
+                    nn_calls: 0,
+                    modeled_us: out.cd_queries as f64 * CD_QUERY_MODELED_US,
+                },
+                out.path,
+            )
         }
     };
     span.end_with(|| {
@@ -222,7 +242,7 @@ pub fn plan_at_tier(
             mp_telemetry::ArgValue::U64(outcome.cd_queries),
         )
     });
-    outcome
+    (outcome, path)
 }
 
 #[cfg(test)]

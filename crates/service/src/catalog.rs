@@ -13,7 +13,7 @@ use mp_collision::SoftwareChecker;
 use mp_octree::{Octree, Scene};
 use mp_planner::queries::generate_queries;
 use mp_planner::sampler::OracleSampler;
-use mp_planner::{plan_at_tier, QualityTier};
+use mp_planner::{plan_at_tier_with_path, PlanCertifier, QualityTier};
 use mp_robot::RobotModel;
 use mp_telemetry::{self as telemetry, arg1, ArgValue, TelemetrySession};
 use threadpool::ThreadPool;
@@ -29,6 +29,11 @@ pub struct CatalogEntry {
     pub cd_queries: u64,
     /// Neural inferences spent.
     pub nn_calls: u64,
+    /// Software pose queries an independent certification of the
+    /// returned plan costs (zero when unsolved — there is no plan).
+    pub certify_queries: u64,
+    /// Modeled host-CPU time (µs) for that certification pass.
+    pub certify_us: f64,
 }
 
 /// A precomputed catalog of planning outcomes, indexed by
@@ -101,6 +106,12 @@ impl PlanCatalog {
                     .iter()
                     .map(|t| Octree::build(scene.obstacles(), t.octree_depth()))
                     .collect();
+                // The certifier's octree is built independently of the
+                // planner's (same obstacle list, fresh build at the
+                // paper-default depth): certification costs recorded in
+                // the catalog are the real software-cascade costs of the
+                // produced paths.
+                let mut certifier = PlanCertifier::new(robot.clone(), scene.obstacles(), 4);
                 Ok(queries
                     .iter()
                     .enumerate()
@@ -115,6 +126,8 @@ impl PlanCatalog {
                             modeled_us: 0.0,
                             cd_queries: 0,
                             nn_calls: 0,
+                            certify_queries: 0,
+                            certify_us: 0.0,
                         }; QualityTier::COUNT];
                         for tier in QualityTier::LADDER {
                             let tseed = seed
@@ -123,7 +136,7 @@ impl PlanCatalog {
                             let mut checker =
                                 SoftwareChecker::new(robot.clone(), depths[tier.index()].clone());
                             let mut sampler = OracleSampler::new(robot.clone(), tseed);
-                            let out = plan_at_tier(
+                            let (out, path) = plan_at_tier_with_path(
                                 &mut checker,
                                 &mut sampler,
                                 &q.start,
@@ -131,11 +144,14 @@ impl PlanCatalog {
                                 tier,
                                 tseed,
                             );
+                            let cert = path.filter(|_| out.solved).map(|p| certifier.certify(&p));
                             row[tier.index()] = CatalogEntry {
                                 solved: out.solved,
                                 modeled_us: out.modeled_us,
                                 cd_queries: out.cd_queries,
                                 nn_calls: out.nn_calls,
+                                certify_queries: cert.map_or(0, |c| c.cd_queries),
+                                certify_us: cert.map_or(0.0, |c| c.modeled_us),
                             };
                         }
                         drop(query_span);
@@ -187,6 +203,25 @@ impl PlanCatalog {
     /// serving everything at full quality.
     pub fn saturating_rate_per_s(&self, instances: usize) -> f64 {
         instances as f64 * 1e6 / self.mean_service_us(QualityTier::Full).max(1e-9)
+    }
+
+    /// Mean certification cost over the keys the tier solves (µs) — the
+    /// per-plan host-CPU overhead the integrity pipeline pays. Zero when
+    /// the tier solves nothing.
+    pub fn mean_certify_us(&self, tier: QualityTier) -> f64 {
+        let (mut sum, mut n) = (0.0f64, 0u64);
+        for row in &self.entries {
+            let e = &row[tier.index()];
+            if e.solved {
+                sum += e.certify_us;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
     }
 
     /// Fraction of keys the tier solves.
@@ -242,5 +277,18 @@ mod tests {
         assert!(c.saturating_rate_per_s(4) > 0.0);
         // Full quality solves most benchmark queries.
         assert!(c.solve_rate(QualityTier::Full) >= 0.5);
+        // Every solved plan carries a measured certification cost.
+        for key in 0..c.num_keys() {
+            for tier in QualityTier::LADDER {
+                let e = c.entry(key, tier);
+                if e.solved {
+                    assert!(e.certify_queries > 0, "key {key} {}", tier.label());
+                    assert!(e.certify_us > 0.0);
+                } else {
+                    assert_eq!(e.certify_queries, 0);
+                }
+            }
+        }
+        assert!(c.mean_certify_us(QualityTier::Full) > 0.0);
     }
 }

@@ -48,11 +48,13 @@ use mp_telemetry::{self as telemetry, arg2, ArgValue, IncidentKind, Lane};
 use mpaccel_core::pool::AcceleratorPool;
 
 use crate::catalog::PlanCatalog;
+use crate::integrity::IntegrityState;
 use crate::metrics::{FleetSummary, ServiceSummary, ShardStats, TenantStats};
 use crate::request::{Request, ShedReason, TenantSpec, Verdict};
 use crate::ring::HashRing;
 use crate::service::{
-    build_injectors, choose_tier, mix, roll_dispatch_fault, service_time_ns, ServiceConfig,
+    build_injectors, build_integrity, choose_tier, mix, roll_dispatch_fault, service_time_ns,
+    us_to_ns, ServiceConfig, BENCH_HORIZON_NS,
 };
 use crate::tenant::{FairQueue, TenantPolicy, TokenBucket};
 
@@ -161,6 +163,7 @@ enum Event {
         tier: usize,
         token: u64,
         fault: Option<FaultKind>,
+        voted: bool,
     },
     /// Re-run the given shard's dispatcher (quarantine expiry / busy
     /// instance freed).
@@ -171,6 +174,9 @@ enum Event {
     Chaos(usize),
     /// A crashed shard comes back.
     Rejoin(usize),
+    /// Run one known-answer scrub probe against a benched instance of the
+    /// given shard.
+    Scrub { shard: usize, inst: usize },
 }
 
 /// Fleet-side per-request state (the [`Request`] itself carries the
@@ -196,6 +202,10 @@ struct Shard {
     queue: FairQueue,
     pool: AcceleratorPool,
     injectors: Vec<FaultInjector>,
+    /// Silent-corruption streams, suspicion scoreboard, and scrub state
+    /// for this shard's instances. Survives crash epochs: SDC is a
+    /// property of the silicon, not of the queue the crash wiped.
+    integrity: IntegrityState,
     /// Per-instance `(request, dispatch token)` for the running dispatch
     /// (`usize::MAX` when idle); the token disambiguates back-to-back
     /// dispatches that share a timestamp.
@@ -235,6 +245,9 @@ struct Fleet<'a> {
     tenants: Vec<TenantStats>,
     tenant_lat: Vec<Vec<VirtualNs>>,
     latencies: Vec<VirtualNs>,
+    /// Requests resolved so far; once every request has a verdict the
+    /// scrub schedules stop re-arming and the event queue drains.
+    resolved: usize,
 }
 
 impl Fleet<'_> {
@@ -275,6 +288,7 @@ impl Fleet<'_> {
             Verdict::Unsolved => fleet.unsolved += 1,
         }
         self.reqs[id].verdict = Some(verdict);
+        self.resolved += 1;
     }
 
     /// One copy of `id` dies (shed, lost, exhausted). When it was the
@@ -482,6 +496,13 @@ impl Fleet<'_> {
             if now < self.shards[s].stall_until {
                 service_ns *= self.shards[s].stall_factor.max(1);
             }
+            // Suspicion-scored voting: a suspect instance re-executes the
+            // dispatch (temporal duplicate-dispatch), doubling its
+            // modeled service time.
+            let voted = self.shards[s].integrity.dispatch_vote(inst);
+            if voted {
+                service_ns *= 2;
+            }
             self.reqs[id].attempts += 1;
             self.reqs[id].tier_floor = tier_idx;
             let token = self.shards[s].dispatch_seq;
@@ -516,7 +537,69 @@ impl Fleet<'_> {
                     tier: tier_idx,
                     token,
                     fault,
+                    voted,
                 },
+            );
+        }
+    }
+
+    /// Benches a lying instance for scrubbing: out of rotation until a
+    /// scrub probe streak readmits it. A shard's last healthy instance is
+    /// never pulled (degraded service beats no service), but its scrub
+    /// schedule still runs so the integrity state stays live.
+    fn bench_liar(&mut self, s: usize, inst: usize, now: VirtualNs) {
+        if self.shards[s].pool.healthy(now) > 1 {
+            self.shards[s].pool.quarantine(inst, BENCH_HORIZON_NS);
+            telemetry::instant_args(
+                "fleet",
+                "bench_liar",
+                arg2(
+                    "shard",
+                    ArgValue::U64(s as u64),
+                    "inst",
+                    ArgValue::U64(inst as u64),
+                ),
+            );
+            if telemetry::active() {
+                telemetry::incident(&format!(
+                    "quarantine shard={s} inst={inst} liar=1 t_ns={now}"
+                ));
+            }
+        }
+        self.events.push(
+            now + self.cfg.shard.integrity.scrub_period_us * NS_PER_US,
+            Event::Scrub { shard: s, inst },
+        );
+    }
+
+    /// One known-answer scrub probe against a benched instance.
+    fn scrub(&mut self, s: usize, inst: usize, now: VirtualNs) {
+        if !self.shards[s].integrity.is_benched(inst) {
+            return;
+        }
+        if self.shards[s].integrity.scrub_probe(inst) {
+            self.shards[s].pool.readmit(inst, now);
+            telemetry::instant_args(
+                "fleet",
+                "scrub_readmit",
+                arg2(
+                    "shard",
+                    ArgValue::U64(s as u64),
+                    "inst",
+                    ArgValue::U64(inst as u64),
+                ),
+            );
+            if telemetry::active() {
+                telemetry::incident(&format!(
+                    "scrub_readmit shard={s} inst={inst} probes={} t_ns={now}",
+                    self.shards[s].integrity.stats.scrub_probes
+                ));
+            }
+            self.dispatch(s, now);
+        } else if self.resolved < self.reqs.len() {
+            self.events.push(
+                now + self.cfg.shard.integrity.scrub_period_us * NS_PER_US,
+                Event::Scrub { shard: s, inst },
             );
         }
     }
@@ -531,6 +614,7 @@ impl Fleet<'_> {
         tier: usize,
         token: u64,
         fault: Option<FaultKind>,
+        voted: bool,
         now: VirtualNs,
     ) {
         if epoch != self.shards[s].epoch {
@@ -593,6 +677,78 @@ impl Fleet<'_> {
         let quality = QualityTier::from_index(tier);
         let entry = self.catalog.entry(self.reqs[id].key, quality);
         if entry.solved {
+            // Integrity pipeline: roll this instance's silent-corruption
+            // stream (resolving any vote), then certify before the
+            // request may resolve as Completed.
+            let ci = self.shards[s].integrity.completion(inst, voted);
+            if ci.bench {
+                self.bench_liar(s, inst, now);
+            }
+            let mut done = now;
+            if self.cfg.shard.integrity.certify {
+                let certify_ns = us_to_ns(entry.certify_us);
+                let stats = &mut self.shards[s].integrity.stats;
+                stats.certify_ns += certify_ns;
+                stats.certify_hist.observe(entry.certify_us.round() as u64);
+                done = now + certify_ns;
+                if ci.ships_corrupt {
+                    // The independent cascade rejects the corrupted plan:
+                    // attribute, then re-plan degraded under whatever
+                    // budget remains.
+                    self.shards[s].integrity.stats.certify_failed += 1;
+                    self.shards[s].integrity.accuse(inst);
+                    telemetry::instant_args(
+                        "fleet",
+                        "certify_failed",
+                        arg2(
+                            "req",
+                            ArgValue::U64(id as u64),
+                            "shard",
+                            ArgValue::U64(s as u64),
+                        ),
+                    );
+                    if telemetry::active() {
+                        telemetry::incident(&format!(
+                            "certify_failed req={id} shard={s} inst={inst} tier={} t_ns={now}",
+                            quality.label()
+                        ));
+                    }
+                    if self.reqs[id].attempts > self.cfg.shard.retry.max_retries {
+                        // Replan budget exhausted: fail closed — an
+                        // unresolved request, never an unsafe plan.
+                        self.copy_dies(id, Verdict::FailedFaults);
+                        return;
+                    }
+                    if tier + 1 < QualityTier::COUNT {
+                        self.reqs[id].tier_floor = self.reqs[id].tier_floor.max(tier + 1);
+                        self.summary.fleet.tier_stepdowns += 1;
+                    }
+                    self.events.push(done, Event::Enqueue { shard: s, req: id });
+                    return;
+                }
+                self.shards[s].integrity.stats.certified += 1;
+                self.shards[s].integrity.exonerate(inst);
+            } else if ci.ships_corrupt {
+                // Undefended: the unsafe plan ships as a "success".
+                self.shards[s].integrity.stats.sdc_escaped += 1;
+                telemetry::instant_args(
+                    "fleet",
+                    "sdc_escaped",
+                    arg2(
+                        "req",
+                        ArgValue::U64(id as u64),
+                        "shard",
+                        ArgValue::U64(s as u64),
+                    ),
+                );
+                if telemetry::active() {
+                    telemetry::incident(&format!(
+                        "sdc_escaped req={id} shard={s} inst={inst} tier={} t_ns={now}",
+                        quality.label()
+                    ));
+                }
+            }
+            let now = done;
             let latency = now - self.reqs[id].arrival_ns;
             let verdict = if now <= self.reqs[id].deadline_ns {
                 Verdict::OnTime {
@@ -872,6 +1028,13 @@ pub fn run_fleet(
                 cfg.seed,
                 s as u64 + 1,
             ),
+            integrity: build_integrity(
+                cfg.shard.integrity,
+                &cfg.shard.faults,
+                cfg.shard.instances,
+                cfg.seed,
+                s as u64 + 1,
+            ),
             inflight: vec![(usize::MAX, 0); cfg.shard.instances],
             dispatch_seq: 0,
             wake_at: None,
@@ -918,6 +1081,7 @@ pub fn run_fleet(
         tenants: tenant_stats,
         tenant_lat: vec![Vec::new(); tenants.len()],
         latencies: Vec::new(),
+        resolved: 0,
     };
 
     while let Some((now, ev)) = fleet.events.pop() {
@@ -933,8 +1097,9 @@ pub fn run_fleet(
                 tier,
                 token,
                 fault,
+                voted,
             } => {
-                fleet.complete(shard, inst, req, epoch, tier, token, fault, now);
+                fleet.complete(shard, inst, req, epoch, tier, token, fault, voted, now);
                 fleet.dispatch(shard, now);
             }
             Event::Wake(s) => {
@@ -946,6 +1111,7 @@ pub fn run_fleet(
             Event::Hedge(id) => fleet.hedge(id, now),
             Event::Chaos(idx) => fleet.chaos(idx, now),
             Event::Rejoin(s) => fleet.rejoin(s, now),
+            Event::Scrub { shard, inst } => fleet.scrub(shard, inst, now),
         }
     }
 
@@ -967,6 +1133,7 @@ pub fn run_fleet(
         for inj in &sh.injectors {
             summary.fleet.resilience.merge(inj.counters());
         }
+        summary.fleet.integrity.merge(&sh.integrity.stats);
         sh.stats.set_latencies(std::mem::take(&mut sh.latencies));
         summary.shards.push(sh.stats);
     }
@@ -1237,6 +1404,95 @@ mod tests {
             "hedging must not lose goodput: {} < {}",
             h.fleet.on_time,
             n.fleet.on_time
+        );
+    }
+
+    #[test]
+    fn fleet_certification_is_sound_under_sdc_and_chaos() {
+        use crate::integrity::IntegrityConfig;
+        use crate::service::FaultProfile;
+        let rate = catalog().saturating_rate_per_s(4 * 2);
+        let chaos = kill_two(DURATION / 4, DURATION / 4);
+        let sdc = FaultProfile::none().with_sdc(0.01, Some(0), 30.0);
+        let undefended = FleetConfig {
+            shard: ServiceConfig {
+                instances: 2,
+                faults: sdc,
+                ..ServiceConfig::default()
+            },
+            ..fleet_cfg(4)
+        };
+        let defended = FleetConfig {
+            shard: ServiceConfig {
+                integrity: IntegrityConfig::full(),
+                ..undefended.shard
+            },
+            ..undefended
+        };
+        let u = run_fleet(
+            catalog(),
+            &tenants(rate),
+            &[],
+            DURATION,
+            &undefended,
+            &chaos,
+        );
+        let d = run_fleet(catalog(), &tenants(rate), &[], DURATION, &defended, &chaos);
+        assert!(u.fleet.integrity.sdc_injected > 0, "SDC must fire");
+        assert!(
+            u.fleet.integrity.sdc_escaped > 0,
+            "undefended shards must ship unsafe plans"
+        );
+        assert_eq!(
+            d.fleet.integrity.sdc_escaped, 0,
+            "the defended fleet must ship zero unsafe plans"
+        );
+        assert!(d.fleet.integrity.certified > 0);
+        assert!(d.fleet.integrity.certify_failed > 0);
+        assert!(d.fleet.integrity.certify_ns > 0);
+        // Both runs stay conserving through crashes + certification.
+        for s in [&u, &d] {
+            let f = &s.fleet;
+            assert_eq!(
+                f.offered,
+                f.on_time + f.late + f.shed() + f.failed_faults + f.unsolved,
+                "every request must resolve exactly once"
+            );
+        }
+        // Determinism of the defended run.
+        let d2 = run_fleet(catalog(), &tenants(rate), &[], DURATION, &defended, &chaos);
+        assert_eq!(format!("{d:?}"), format!("{d2:?}"));
+    }
+
+    #[test]
+    fn fleet_scrub_readmits_a_benched_hot_lane() {
+        use crate::integrity::IntegrityConfig;
+        use crate::service::FaultProfile;
+        let rate = catalog().saturating_rate_per_s(2 * 2);
+        let cfg = FleetConfig {
+            shard: ServiceConfig {
+                instances: 2,
+                faults: FaultProfile::none().with_sdc(0.004, Some(0), 100.0),
+                integrity: IntegrityConfig::full(),
+                ..ServiceConfig::default()
+            },
+            ..fleet_cfg(2)
+        };
+        let s = run_fleet(
+            catalog(),
+            &tenants(rate),
+            &[],
+            2 * DURATION,
+            &cfg,
+            &ShardFaultPlan::none(0),
+        );
+        assert_eq!(s.fleet.integrity.sdc_escaped, 0);
+        assert!(s.fleet.integrity.votes > 0, "suspicion must engage voting");
+        assert!(s.fleet.integrity.vote_overrides > 0);
+        assert!(s.fleet.integrity.liars_benched > 0);
+        assert!(
+            s.fleet.integrity.scrub_readmits > 0,
+            "scrub must readmit within the run"
         );
     }
 

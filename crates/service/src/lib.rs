@@ -51,6 +51,7 @@ pub mod breaker;
 pub mod catalog;
 pub mod degrade;
 pub mod fleet;
+pub mod integrity;
 pub mod metrics;
 pub mod queue;
 pub mod request;
@@ -62,6 +63,7 @@ pub use breaker::BreakerConfig;
 pub use catalog::{CatalogEntry, PlanCatalog};
 pub use degrade::DegradeConfig;
 pub use fleet::{run_fleet, run_fleet_traced, FailoverConfig, FleetConfig, HedgeConfig};
+pub use integrity::{IntegrityConfig, IntegrityState, IntegrityStats};
 pub use metrics::{FleetSummary, ServiceSummary, ShardStats, TenantStats};
 pub use queue::{QueuePolicy, RequestQueue};
 pub use request::{Request, ShedReason, TenantSpec, Verdict};

@@ -6,6 +6,8 @@ use mp_sim::fault::ResilienceCounters;
 use mp_sim::vtime::VirtualNs;
 use mp_telemetry::{HistSnapshot, Registry};
 
+use crate::integrity::IntegrityStats;
+
 /// The aggregate outcome of one service run.
 #[derive(Clone, Debug, Default)]
 pub struct ServiceSummary {
@@ -45,6 +47,9 @@ pub struct ServiceSummary {
     pub busy_ns: u64,
     /// Merged fault-injection / recovery counters.
     pub resilience: ResilienceCounters,
+    /// Integrity-pipeline counters (SDC injection/escape, certification,
+    /// voting, scrub) and the certification-cost histogram.
+    pub integrity: IntegrityStats,
     /// Arrival-to-completion latencies of served requests (ns), stored as
     /// a telemetry histogram (raw samples kept sorted, so percentiles stay
     /// exact nearest-rank).
@@ -165,6 +170,22 @@ impl ServiceSummary {
         registry.observe_hist(&format!("{prefix}.latency_ns"), &self.latency_hist);
         self.resilience
             .export_into(&format!("{prefix}.resilience"), registry);
+        self.integrity
+            .export_into(&format!("{prefix}.integrity"), registry);
+    }
+
+    /// Unsafe-plan escape rate: silently corrupted plans shipped per
+    /// completed request.
+    pub fn escape_rate(&self) -> f64 {
+        self.integrity.escape_rate(self.completed())
+    }
+
+    /// Mean certification overhead per completed request (µs).
+    pub fn certify_overhead_us(&self) -> f64 {
+        if self.completed() == 0 {
+            return 0.0;
+        }
+        self.integrity.certify_ns as f64 / 1_000.0 / self.completed() as f64
     }
 }
 
@@ -382,6 +403,24 @@ mod tests {
         assert_eq!(h.count(), 9);
         assert_eq!(h.percentile(0.99), Some(5_000));
         assert_eq!(r.counter_value("service.resilience.queries"), Some(0));
+        assert_eq!(r.counter_value("service.integrity.sdc_escaped"), Some(0));
+    }
+
+    #[test]
+    fn integrity_rates_follow_the_counts() {
+        let mut s = ServiceSummary {
+            duration_ns: 1_000_000_000,
+            offered: 100,
+            on_time: 40,
+            late: 10,
+            ..ServiceSummary::default()
+        };
+        s.integrity.sdc_escaped = 5;
+        s.integrity.certify_ns = 50_000_000;
+        assert!((s.escape_rate() - 0.1).abs() < 1e-12);
+        assert!((s.certify_overhead_us() - 1_000.0).abs() < 1e-9);
+        assert_eq!(ServiceSummary::default().escape_rate(), 0.0);
+        assert_eq!(ServiceSummary::default().certify_overhead_us(), 0.0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! a run is a pure function of `(catalog, tenants, duration, config)`.
 
 use mp_planner::QualityTier;
-use mp_sim::fault::{FaultInjector, FaultKind, FaultPlan};
+use mp_sim::fault::{FaultInjector, FaultKind, FaultPlan, SdcPlan};
 use mp_sim::vtime::{EventQueue, VirtualNs, NS_PER_US};
 use mp_telemetry::{self as telemetry, arg1, arg2, ArgValue, Lane};
 use mpaccel_core::pool::AcceleratorPool;
@@ -21,6 +21,7 @@ use mpaccel_core::pool::AcceleratorPool;
 use crate::breaker::BreakerConfig;
 use crate::catalog::PlanCatalog;
 use crate::degrade::DegradeConfig;
+use crate::integrity::{IntegrityConfig, IntegrityState};
 use crate::metrics::ServiceSummary;
 use crate::queue::{QueuePolicy, RequestQueue};
 use crate::request::{Request, ShedReason, TenantSpec, Verdict};
@@ -57,6 +58,13 @@ pub struct FaultProfile {
     /// Service-time multiplier for [`FaultKind::SlowUnit`] faults (the
     /// dispatch completes correctly, just slower).
     pub slow_factor: u64,
+    /// Probability a clean, solved completion silently returns a
+    /// corrupted (unsafe) plan — the SDC hazard no detection layer sees.
+    pub sdc_rate: f64,
+    /// Instance with an elevated silent-corruption rate (the "hot lane").
+    pub sdc_hot: Option<usize>,
+    /// Rate multiplier for the hot instance.
+    pub sdc_hot_factor: f64,
 }
 
 impl FaultProfile {
@@ -67,6 +75,9 @@ impl FaultProfile {
             lemon: None,
             lemon_factor: 1.0,
             slow_factor: 4,
+            sdc_rate: 0.0,
+            sdc_hot: None,
+            sdc_hot_factor: 1.0,
         }
     }
 
@@ -74,11 +85,20 @@ impl FaultProfile {
     /// that rate.
     pub fn with_lemon(rate_per_kind: f64, lemon: usize, lemon_factor: f64) -> FaultProfile {
         FaultProfile {
-            rate_per_kind,
             lemon: Some(lemon),
             lemon_factor,
-            slow_factor: 4,
+            rate_per_kind,
+            ..FaultProfile::none()
         }
+    }
+
+    /// Adds silent data corruption: `rate` per clean completion, with
+    /// `hot` (if any) corrupting at `hot_factor`× that rate.
+    pub fn with_sdc(mut self, rate: f64, hot: Option<usize>, hot_factor: f64) -> FaultProfile {
+        self.sdc_rate = rate;
+        self.sdc_hot = hot;
+        self.sdc_hot_factor = hot_factor;
+        self
     }
 }
 
@@ -102,6 +122,9 @@ pub struct ServiceConfig {
     pub breaker: BreakerConfig,
     /// Fault environment.
     pub faults: FaultProfile,
+    /// Integrity pipeline (certification / voting / scrub); off by
+    /// default.
+    pub integrity: IntegrityConfig,
     /// Run seed (fault streams, request→query assignment).
     pub seed: u64,
 }
@@ -117,6 +140,7 @@ impl Default for ServiceConfig {
             retry: RetryConfig::default(),
             breaker: BreakerConfig::default(),
             faults: FaultProfile::none(),
+            integrity: IntegrityConfig::off(),
             seed: 0,
         }
     }
@@ -130,7 +154,14 @@ enum Event {
     Complete { inst: usize, req: usize },
     /// Re-run the dispatcher (quarantine expiry / busy instance freed).
     Wake,
+    /// Run one known-answer scrub probe against a benched instance.
+    Scrub { inst: usize },
 }
+
+/// Bench horizon for integrity quarantines: far enough that only a scrub
+/// readmission brings the instance back, finite so pool arithmetic never
+/// overflows.
+pub(crate) const BENCH_HORIZON_NS: VirtualNs = VirtualNs::MAX / 4;
 
 pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -228,6 +259,32 @@ pub(crate) fn build_injectors(
         .collect()
 }
 
+/// Builds the per-instance integrity state for a pool, deriving every
+/// silent-corruption stream from `(seed, salt, instance)`. Shared by the
+/// single-shard loop and the fleet shards.
+pub(crate) fn build_integrity(
+    integrity: IntegrityConfig,
+    faults: &FaultProfile,
+    instances: usize,
+    seed: u64,
+    salt: u64,
+) -> IntegrityState {
+    let plan = SdcPlan {
+        seed: mix(seed ^ 0x5DC0_0000 ^ (salt << 8)),
+        verdict_flip_rate: faults.sdc_rate,
+        memo_corrupt_rate: 0.0,
+        node_corrupt_rate: 0.0,
+    };
+    IntegrityState::new(
+        integrity,
+        plan,
+        instances,
+        faults.sdc_hot,
+        faults.sdc_hot_factor,
+        salt,
+    )
+}
+
 struct Run<'a> {
     catalog: &'a PlanCatalog,
     cfg: &'a ServiceConfig,
@@ -235,10 +292,15 @@ struct Run<'a> {
     queue: RequestQueue,
     pool: AcceleratorPool,
     injectors: Vec<FaultInjector>,
+    integrity: IntegrityState,
     events: EventQueue<Event>,
-    inflight: Vec<(usize, Option<FaultKind>)>,
+    /// Per-instance in-flight dispatch: (request, rolled fault, voted).
+    inflight: Vec<(usize, Option<FaultKind>, bool)>,
     summary: ServiceSummary,
     latencies: Vec<VirtualNs>,
+    /// Requests resolved so far; once every request has a verdict the
+    /// scrub schedule stops re-arming and the event queue drains.
+    resolved: usize,
     /// Earliest outstanding [`Event::Wake`], if any. Without this guard
     /// every stalled dispatch would push a fresh wake and overload runs
     /// would drown in duplicate wake events (one per queued request per
@@ -267,6 +329,7 @@ impl Run<'_> {
             Verdict::Unsolved => self.summary.unsolved += 1,
         }
         self.reqs[id].verdict = Some(verdict);
+        self.resolved += 1;
     }
 
     fn enqueue(&mut self, id: usize, now: VirtualNs) {
@@ -342,8 +405,15 @@ impl Run<'_> {
                 self.cfg.faults.slow_factor,
                 &mut service_ns,
             );
+            // Suspicion-scored voting: a suspect instance re-executes the
+            // dispatch (temporal duplicate-dispatch), doubling its
+            // modeled service time.
+            let voted = self.integrity.dispatch_vote(inst);
+            if voted {
+                service_ns *= 2;
+            }
             self.reqs[id].attempts += 1;
-            self.inflight[inst] = (id, fault);
+            self.inflight[inst] = (id, fault, voted);
             self.reqs[id].tier_floor = tier_idx; // remember the served tier
             self.pool.begin(inst, now, service_ns);
             // Instance occupancy as one Perfetto row per instance.
@@ -369,8 +439,57 @@ impl Run<'_> {
         }
     }
 
+    /// Benches a lying instance for scrubbing: out of rotation until a
+    /// scrub probe streak readmits it. The last healthy instance is never
+    /// pulled (degraded service beats no service), but its scrub schedule
+    /// still runs so the integrity state stays live.
+    fn bench_liar(&mut self, inst: usize, now: VirtualNs) {
+        if self.pool.healthy(now) > 1 {
+            self.pool.quarantine(inst, BENCH_HORIZON_NS);
+            telemetry::instant_args(
+                "service",
+                "bench_liar",
+                arg1("inst", ArgValue::U64(inst as u64)),
+            );
+            if telemetry::active() {
+                telemetry::incident(&format!("quarantine inst={inst} liar=1 t_ns={now}"));
+            }
+        }
+        self.events.push(
+            now + self.cfg.integrity.scrub_period_us * NS_PER_US,
+            Event::Scrub { inst },
+        );
+    }
+
+    /// One known-answer scrub probe against a benched instance.
+    fn scrub(&mut self, inst: usize, now: VirtualNs) {
+        if !self.integrity.is_benched(inst) {
+            return;
+        }
+        if self.integrity.scrub_probe(inst) {
+            self.pool.readmit(inst, now);
+            telemetry::instant_args(
+                "service",
+                "scrub_readmit",
+                arg1("inst", ArgValue::U64(inst as u64)),
+            );
+            if telemetry::active() {
+                telemetry::incident(&format!(
+                    "scrub_readmit inst={inst} probes={} t_ns={now}",
+                    self.integrity.stats.scrub_probes
+                ));
+            }
+            self.dispatch(now);
+        } else if self.resolved < self.reqs.len() {
+            self.events.push(
+                now + self.cfg.integrity.scrub_period_us * NS_PER_US,
+                Event::Scrub { inst },
+            );
+        }
+    }
+
     fn complete(&mut self, inst: usize, id: usize, now: VirtualNs) {
-        let (_, fault) = self.inflight[inst];
+        let (_, fault, voted) = self.inflight[inst];
         let tier_idx = self.reqs[id].tier_floor;
         if let Some(_kind) = fault {
             self.injectors[inst].counters_mut().detected += 1;
@@ -420,6 +539,80 @@ impl Run<'_> {
             let tier = QualityTier::from_index(tier_idx);
             let entry = self.catalog.entry(self.reqs[id].key, tier);
             if entry.solved {
+                // Integrity pipeline: roll this instance's silent-
+                // corruption stream (resolving any vote), then certify
+                // before the request may resolve as Completed.
+                let ci = self.integrity.completion(inst, voted);
+                if ci.bench {
+                    self.bench_liar(inst, now);
+                }
+                let mut done = now;
+                if self.cfg.integrity.certify {
+                    let certify_ns = us_to_ns(entry.certify_us);
+                    self.integrity.stats.certify_ns += certify_ns;
+                    self.integrity
+                        .stats
+                        .certify_hist
+                        .observe(entry.certify_us.round() as u64);
+                    done = now + certify_ns;
+                    if ci.ships_corrupt {
+                        // The independent cascade rejects the corrupted
+                        // plan: attribute, then re-plan degraded under
+                        // whatever budget remains.
+                        self.integrity.stats.certify_failed += 1;
+                        self.integrity.accuse(inst);
+                        telemetry::instant_args(
+                            "service",
+                            "certify_failed",
+                            arg2(
+                                "req",
+                                ArgValue::U64(id as u64),
+                                "inst",
+                                ArgValue::U64(inst as u64),
+                            ),
+                        );
+                        if telemetry::active() {
+                            telemetry::incident(&format!(
+                                "certify_failed req={id} inst={inst} tier={} t_ns={now}",
+                                tier.label()
+                            ));
+                        }
+                        if self.reqs[id].attempts > self.cfg.retry.max_retries {
+                            // Replan budget exhausted: fail closed — an
+                            // unresolved request, never an unsafe plan.
+                            self.resolve(id, Verdict::FailedFaults);
+                            return;
+                        }
+                        if tier_idx + 1 < QualityTier::COUNT {
+                            self.reqs[id].tier_floor = tier_idx + 1;
+                            self.summary.tier_stepdowns += 1;
+                        }
+                        self.events.push(done, Event::Enqueue(id));
+                        return;
+                    }
+                    self.integrity.stats.certified += 1;
+                    self.integrity.exonerate(inst);
+                } else if ci.ships_corrupt {
+                    // Undefended: the unsafe plan ships as a "success".
+                    self.integrity.stats.sdc_escaped += 1;
+                    telemetry::instant_args(
+                        "service",
+                        "sdc_escaped",
+                        arg2(
+                            "req",
+                            ArgValue::U64(id as u64),
+                            "inst",
+                            ArgValue::U64(inst as u64),
+                        ),
+                    );
+                    if telemetry::active() {
+                        telemetry::incident(&format!(
+                            "sdc_escaped req={id} inst={inst} tier={} t_ns={now}",
+                            tier.label()
+                        ));
+                    }
+                }
+                let now = done;
                 let latency = now - self.reqs[id].arrival_ns;
                 let verdict = if now <= self.reqs[id].deadline_ns {
                     Verdict::OnTime {
@@ -500,6 +693,7 @@ pub fn run_service(
     }
 
     let injectors = build_injectors(&cfg.faults, cfg.instances, cfg.seed, 0);
+    let integrity = build_integrity(cfg.integrity, &cfg.faults, cfg.instances, cfg.seed, 0);
 
     let summary = ServiceSummary::for_run(duration_ns, cfg.instances, reqs.len() as u64);
     let mut run = Run {
@@ -509,10 +703,12 @@ pub fn run_service(
         queue: RequestQueue::new(cfg.policy),
         pool: AcceleratorPool::new(cfg.instances),
         injectors,
+        integrity,
         events,
-        inflight: vec![(usize::MAX, None); cfg.instances],
+        inflight: vec![(usize::MAX, None, false); cfg.instances],
         summary,
         latencies: Vec::new(),
+        resolved: 0,
         wake_at: None,
     };
 
@@ -533,6 +729,9 @@ pub fn run_service(
                 }
                 run.dispatch(now);
             }
+            Event::Scrub { inst } => {
+                run.scrub(inst, now);
+            }
         }
     }
 
@@ -545,6 +744,7 @@ pub fn run_service(
     for inj in &run.injectors {
         run.summary.resilience.merge(inj.counters());
     }
+    run.summary.integrity = run.integrity.stats.clone();
     let latencies = std::mem::take(&mut run.latencies);
     run.summary.set_latencies(latencies);
     run.summary
@@ -695,6 +895,94 @@ mod tests {
         assert!(s.quarantines > 0, "the lemon must trip the breaker");
         assert!(s.resilience.injected_total() > 0);
         assert_eq!(s.resilience.redispatches, s.retries);
+    }
+
+    #[test]
+    fn undefended_sdc_ships_unsafe_plans() {
+        let cfg = ServiceConfig {
+            faults: FaultProfile::none().with_sdc(0.01, Some(0), 30.0),
+            ..ServiceConfig::default()
+        };
+        let rate = catalog().saturating_rate_per_s(cfg.instances);
+        let s = run_service(catalog(), &tenants(rate), DURATION, &cfg);
+        assert!(s.integrity.sdc_injected > 0, "SDC must fire at this rate");
+        assert_eq!(
+            s.integrity.sdc_escaped, s.integrity.sdc_injected,
+            "undefended, every corrupted plan ships"
+        );
+        assert!(s.escape_rate() > 0.0);
+        assert_eq!(s.integrity.certify_ns, 0, "no certification was paid for");
+    }
+
+    #[test]
+    fn certification_stops_every_escape_and_replans() {
+        let cfg = ServiceConfig {
+            faults: FaultProfile::none().with_sdc(0.01, Some(0), 30.0),
+            integrity: IntegrityConfig::certify_only(),
+            ..ServiceConfig::default()
+        };
+        let rate = catalog().saturating_rate_per_s(cfg.instances);
+        let s = run_service(catalog(), &tenants(rate), DURATION, &cfg);
+        assert!(s.integrity.sdc_injected > 0);
+        assert_eq!(s.integrity.sdc_escaped, 0, "certification must be sound");
+        assert!(s.integrity.certify_failed > 0, "rejections must re-plan");
+        assert!(s.integrity.certified > 0);
+        assert!(s.integrity.certify_ns > 0);
+        assert!(s.certify_overhead_us() > 0.0);
+        assert_eq!(
+            s.integrity.certify_hist.count(),
+            s.integrity.certified + s.integrity.certify_failed
+        );
+        // Defense-off counters stay off without voting enabled.
+        assert_eq!(s.integrity.votes, 0);
+        assert_eq!(s.integrity.scrub_probes, 0);
+    }
+
+    #[test]
+    fn full_ladder_votes_on_the_hot_instance_and_scrubs_liars() {
+        // A very hot lane: certify failures pile suspicion onto instance
+        // 0 fast, voting engages, overrides accumulate, the liar is
+        // benched and scrub-readmitted within the run.
+        let cfg = ServiceConfig {
+            faults: FaultProfile::none().with_sdc(0.004, Some(0), 100.0),
+            integrity: IntegrityConfig::full(),
+            ..ServiceConfig::default()
+        };
+        let rate = catalog().saturating_rate_per_s(cfg.instances);
+        let s = run_service(catalog(), &tenants(rate), 2 * DURATION, &cfg);
+        assert_eq!(s.integrity.sdc_escaped, 0, "the full ladder must be sound");
+        assert!(s.integrity.votes > 0, "suspicion must engage voting");
+        assert!(s.integrity.vote_overrides > 0, "votes must catch lies");
+        assert!(
+            s.integrity.liars_benched > 0,
+            "the hot lane must strike out"
+        );
+        assert!(s.integrity.scrub_probes > 0);
+        assert!(
+            s.integrity.scrub_readmits > 0,
+            "scrub must readmit within the run"
+        );
+        // Voting masks corruption before certification: fewer rejections
+        // per injection than certify-only would pay.
+        assert!(s.integrity.certify_failed < s.integrity.sdc_injected);
+    }
+
+    #[test]
+    fn integrity_runs_are_deterministic() {
+        let cfg = ServiceConfig {
+            faults: FaultProfile::none().with_sdc(0.01, Some(1), 40.0),
+            integrity: IntegrityConfig::full(),
+            ..ServiceConfig::default()
+        };
+        let rate = 1.5 * catalog().saturating_rate_per_s(cfg.instances);
+        let a = run_service(catalog(), &tenants(rate), DURATION, &cfg);
+        let b = run_service(catalog(), &tenants(rate), DURATION, &cfg);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(
+            a.offered,
+            a.on_time + a.late + a.shed() + a.failed_faults + a.unsolved,
+            "every request resolves exactly once under the integrity path"
+        );
     }
 
     #[test]

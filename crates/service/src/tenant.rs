@@ -195,7 +195,13 @@ impl FairQueue {
         let t = (0..self.heaps.len())
             .filter(|&t| !self.heaps[t].is_empty())
             .min_by_key(|&t| (self.vft[t], t))?;
-        let Reverse((_, _, id)) = self.heaps[t].pop().unwrap();
+        // Invariant: `t` was selected from the non-empty heaps above, so
+        // this pop cannot fail; the fallthrough keeps the hot path
+        // panic-free in release builds.
+        let Some(Reverse((_, _, id))) = self.heaps[t].pop() else {
+            debug_assert!(false, "selected tenant heap is empty");
+            return None;
+        };
         self.len -= 1;
         self.vnow = self.vft[t];
         if !self.heaps[t].is_empty() {

@@ -33,7 +33,10 @@ pub mod vtime;
 
 pub use arrival::{ArrivalKind, ArrivalProcess};
 pub use counters::OpCounter;
-pub use fault::{FaultInjector, FaultKind, FaultPlan, ResilienceCounters};
+pub use fault::{
+    FaultInjector, FaultKind, FaultPlan, IntegrityCounters, ResilienceCounters, SdcInjector,
+    SdcPlan,
+};
 pub use power::{AreaPower, CecduConfig, IuKind, MpaccelConfig};
 pub use time::ClockDomain;
 pub use vtime::{EventQueue, VirtualNs};

@@ -37,11 +37,21 @@ pub enum IncidentKind {
     ShardFailover,
     /// A hedge was duplicated to a second shard after the hedge delay.
     HedgeFired,
+    /// A silently corrupted (unsafe) plan escaped past every defense in
+    /// the configured policy — the event the integrity pipeline must
+    /// drive to zero.
+    SdcEscaped,
+    /// The independent plan certifier rejected a returned plan; the
+    /// request was re-planned at a degraded tier instead of shipping.
+    CertifyFailed,
+    /// A scrub probe sequence readmitted a quarantined instance after
+    /// the required clean streak.
+    ScrubReadmit,
 }
 
 impl IncidentKind {
     /// All well-known kinds, in a fixed order.
-    pub const ALL: [IncidentKind; 7] = [
+    pub const ALL: [IncidentKind; 10] = [
         IncidentKind::DeadlineMiss,
         IncidentKind::ShedQueueFull,
         IncidentKind::ShedHopeless,
@@ -49,6 +59,9 @@ impl IncidentKind {
         IncidentKind::Quarantine,
         IncidentKind::ShardFailover,
         IncidentKind::HedgeFired,
+        IncidentKind::SdcEscaped,
+        IncidentKind::CertifyFailed,
+        IncidentKind::ScrubReadmit,
     ];
 
     /// The reason-prefix token for this kind.
@@ -61,6 +74,9 @@ impl IncidentKind {
             IncidentKind::Quarantine => "quarantine",
             IncidentKind::ShardFailover => "shard_failover",
             IncidentKind::HedgeFired => "hedge_fired",
+            IncidentKind::SdcEscaped => "sdc_escaped",
+            IncidentKind::CertifyFailed => "certify_failed",
+            IncidentKind::ScrubReadmit => "scrub_readmit",
         }
     }
 }
@@ -229,6 +245,49 @@ mod tests {
         let report = flight_report(&streams);
         assert!(report.contains("6 incident(s) observed, 3 snapshot(s) kept"));
         assert!(report.contains("kinds kept: hedge_fired=2 shard_failover=1"));
+    }
+
+    #[test]
+    fn certify_flood_cannot_evict_the_lone_escape_snapshot() {
+        // The integrity pipeline's worst-case telemetry shape: a high SDC
+        // rate produces a *flood* of certify rejections (each one a
+        // defense success) around a single escaped unsafe plan (the event
+        // a post-mortem exists to explain). The per-kind cap must keep
+        // the escape snapshot no matter how many rejections surround it.
+        let session = TelemetrySession::with_config(SinkConfig {
+            max_incidents: 2,
+            ..SinkConfig::default()
+        });
+        {
+            let _g = session.install("service", 0);
+            crate::set_time(8_000);
+            for req in 0..20u64 {
+                incident_kind(
+                    IncidentKind::CertifyFailed,
+                    &format!("req={req} inst=1 edge=3"),
+                );
+            }
+            incident_kind(IncidentKind::SdcEscaped, "req=99 inst=1 tier=full");
+            incident_kind(IncidentKind::ScrubReadmit, "inst=1 probes=4");
+        }
+        let streams = session.streams();
+        let kept: Vec<&str> = streams[0]
+            .incidents
+            .iter()
+            .map(|i| i.reason.as_str())
+            .collect();
+        assert_eq!(
+            kept,
+            [
+                "certify_failed req=0 inst=1 edge=3",
+                "certify_failed req=1 inst=1 edge=3",
+                "sdc_escaped req=99 inst=1 tier=full",
+                "scrub_readmit inst=1 probes=4",
+            ]
+        );
+        let report = flight_report(&streams);
+        assert!(report.contains("22 incident(s) observed, 4 snapshot(s) kept"));
+        assert!(report.contains("kinds kept: certify_failed=2 scrub_readmit=1 sdc_escaped=1"));
     }
 
     #[test]
