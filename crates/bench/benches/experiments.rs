@@ -42,6 +42,7 @@ experiment_bench!(bench_table1, table1, 10);
 experiment_bench!(bench_table3, table3, 10);
 experiment_bench!(bench_codacc, codacc, 10);
 experiment_bench!(bench_planners, planners, 10);
+experiment_bench!(bench_batch_planning, batch_planning, 10);
 
 fn bench_ablation(c: &mut Criterion) {
     println!("{}", ablation::run(scale()));
@@ -197,6 +198,57 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// Microbenchmarks of the batch planning engine's two hot kernels: the
+/// rake-style motion validator (shared-checker edge stream) and the
+/// per-round cross-query gather (eight lanes' nearest-neighbour lookups
+/// against a grown SoA tree).
+fn bench_batch_engine(c: &mut Criterion) {
+    use mp_collision::{RakeValidator, SoftwareChecker};
+    use mp_octree::{Scene, SceneConfig};
+    use mp_planner::rrt::Tree;
+    use mp_robot::{Motion, RobotModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let robot = RobotModel::jaco2();
+    let tree = Scene::random(SceneConfig::paper(), 0).octree();
+    let mut checker = SoftwareChecker::new(robot.clone(), tree);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A mid-length motion between two sampled configurations — the shape
+    // of one pending batch edge.
+    let motion = Motion::new(robot.sample_config(&mut rng), robot.sample_config(&mut rng));
+    let mut rake = RakeValidator::new();
+
+    // A grown tree (4096 nodes) plus one round of lane targets.
+    let mut grown = Tree::new(robot.home());
+    for i in 0..4095 {
+        grown.push(robot.sample_config(&mut rng), i / 2);
+    }
+    let targets: Vec<_> = (0..8).map(|_| robot.sample_config(&mut rng)).collect();
+
+    let mut g = c.benchmark_group("batch_engine");
+    g.bench_function("rake_validate", |b| {
+        b.iter(|| {
+            black_box(
+                rake.check_motion(&mut checker, black_box(&motion), 0.04)
+                    .colliding,
+            )
+        })
+    });
+    g.bench_function("cross_query_gather", |b| {
+        // One lockstep round's gather: all eight lanes' NN scans.
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in &targets {
+                acc = acc.wrapping_add(grown.nearest(black_box(t)));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
 /// Overhead guard for the telemetry layer: the collision hot loop timed
 /// with no sink installed versus a sink installed but sampling disabled
 /// (`sample_every: 0`, the always-on production setting for hot kernels).
@@ -242,6 +294,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_kernels,
+    bench_batch_engine,
     bench_telemetry_overhead,
     bench_table2,
     bench_fig01b,
@@ -257,6 +310,7 @@ criterion_group!(
     bench_table3,
     bench_codacc,
     bench_planners,
+    bench_batch_planning,
     bench_ablation,
 );
 criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the batched-vs-sequential planning comparison.
+//! Usage: `cargo run -p mp-bench --release --bin batch_planning`
+
+fn main() {
+    let scale = mp_bench::Scale::from_env();
+    println!("{}", mp_bench::experiments::batch_planning::run(scale));
+}

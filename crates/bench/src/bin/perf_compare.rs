@@ -150,6 +150,50 @@ fn main() -> ExitCode {
             println!("  {name:<12} {:>12} {:>12.1} (new)", "-", new_wall * 1e3);
         }
     }
+
+    // On CI, surface the two headline numbers — CD throughput and the
+    // planners experiment wall — in the job's step summary so the perf
+    // trajectory is readable without opening the log.
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let wall = |s: &Summary| {
+            s.experiments
+                .iter()
+                .find(|(n, _)| n == "planners")
+                .map(|(_, w)| *w)
+        };
+        let planners = match (wall(&base), wall(&fresh)) {
+            (Some(b), Some(f)) => format!(
+                "| planners wall | {:.1} ms | {:.1} ms | {:+.1}% |\n",
+                b * 1e3,
+                f * 1e3,
+                pct(b, f)
+            ),
+            _ => String::new(),
+        };
+        let md = format!(
+            "### Perf vs committed baseline ({} scale, {} thread(s))\n\n\
+             | metric | baseline | fresh | delta |\n|---|---|---|---|\n\
+             | cd_checks_per_sec | {:.0} | {:.0} | {:+.1}% ({:.2}x) |\n\
+             | total wall | {:.3} s | {:.3} s | {:+.1}% |\n{planners}",
+            fresh.scale,
+            fresh.threads,
+            base.cd_checks_per_sec,
+            fresh.cd_checks_per_sec,
+            pct(base.cd_checks_per_sec, fresh.cd_checks_per_sec),
+            fresh.cd_checks_per_sec / base.cd_checks_per_sec.max(1e-12),
+            base.total_wall_s,
+            fresh.total_wall_s,
+            pct(base.total_wall_s, fresh.total_wall_s),
+        );
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, md.as_bytes()))
+        {
+            eprintln!("warning: could not write step summary {path}: {e}");
+        }
+    }
     ExitCode::SUCCESS
 }
 

@@ -57,6 +57,7 @@ pub fn experiments() -> Vec<Experiment> {
         exp!(table3),
         exp!(codacc),
         exp!(ablation),
+        exp!(batch_planning),
         exp!(planners),
         exp!(faults),
         exp!(soak),
@@ -285,11 +286,11 @@ mod tests {
     #[test]
     fn suite_is_complete_and_uniquely_named() {
         let all = experiments();
-        assert_eq!(all.len(), 20);
+        assert_eq!(all.len(), 21);
         let mut names: Vec<&str> = all.iter().map(|x| x.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 20, "duplicate experiment names");
+        assert_eq!(names.len(), 21, "duplicate experiment names");
     }
 
     #[test]

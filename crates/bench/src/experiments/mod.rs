@@ -5,6 +5,7 @@
 //! shape-assertion tests.
 
 pub mod ablation;
+pub mod batch_planning;
 pub mod codacc;
 pub mod common;
 pub mod faults;

@@ -8,9 +8,10 @@
 
 use mp_collision::SoftwareChecker;
 use mp_octree::benchmark_scenes;
-use mp_planner::mpnet::{plan, MpnetConfig};
+use mp_planner::batch::{mpnet_stream, rrt_batch, rrt_connect_batch, BatchQuery};
+use mp_planner::mpnet::MpnetConfig;
 use mp_planner::queries::generate_queries;
-use mp_planner::rrt::{rrt, rrt_connect, RrtConfig};
+use mp_planner::rrt::RrtConfig;
 use mp_planner::sampler::OracleSampler;
 use mp_robot::{JointConfig, RobotModel};
 
@@ -54,52 +55,72 @@ pub fn data(scale: Scale) -> Vec<(&'static str, PlannerStats)> {
         ("RRT", PlannerStats::default()),
         ("RRT-Connect", PlannerStats::default()),
     ];
+    // Each planner runs its whole per-scene query block through the
+    // cross-query batch engine: one shared checker per (scene, planner),
+    // all edge validations streamed together. Per-query outcomes are
+    // bit-identical to the old one-checker-per-query loop (see
+    // `mp_planner::batch`), so the aggregates below are unchanged.
     for (si, scene) in scenes.iter().enumerate() {
         let tree = scene.octree();
-        for (qi, q) in generate_queries(&robot, scene, queries_per_scene, 300 + si as u64)
-            .expect("benchmark scenes yield valid queries")
-            .iter()
-            .enumerate()
+        let queries: Vec<BatchQuery> =
+            generate_queries(&robot, scene, queries_per_scene, 300 + si as u64)
+                .expect("benchmark scenes yield valid queries")
+                .into_iter()
+                .enumerate()
+                .map(|(qi, q)| BatchQuery {
+                    start: q.start,
+                    goal: q.goal,
+                    seed: (si * 100 + qi) as u64,
+                })
+                .collect();
+        // MPNet-style.
         {
-            let seed = (si * 100 + qi) as u64;
-            // MPNet-style.
-            {
-                let s = &mut out[0].1;
+            let s = &mut out[0].1;
+            let mut checker = SoftwareChecker::new(robot.clone(), tree.clone());
+            let mpnet_queries: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let cfg = MpnetConfig {
+                        seed: q.seed,
+                        ..MpnetConfig::default()
+                    };
+                    (q.start.clone(), q.goal.clone(), cfg)
+                })
+                .collect();
+            let results = mpnet_stream(&mut checker, &mpnet_queries, |i| {
+                OracleSampler::new(robot.clone(), queries[i].seed)
+            });
+            for r in results {
                 s.attempted += 1;
-                let mut checker = SoftwareChecker::new(robot.clone(), tree.clone());
-                let mut sampler = OracleSampler::new(robot.clone(), seed);
-                let cfg = MpnetConfig {
-                    seed,
-                    ..MpnetConfig::default()
-                };
-                let r = plan(&mut checker, &mut sampler, &q.start, &q.goal, &cfg);
-                if let Some(p) = &r.path {
+                if let Some(p) = &r.outcome.path {
                     s.solved += 1;
-                    s.avg_cd_queries += r.stats.cd_queries as f64;
+                    s.avg_cd_queries += r.outcome.stats.cd_queries as f64;
                     s.avg_path_length += path_length(p) as f64;
                 }
             }
-            // RRT.
-            {
-                let s = &mut out[1].1;
+        }
+        // RRT.
+        {
+            let s = &mut out[1].1;
+            let mut checker = SoftwareChecker::new(robot.clone(), tree.clone());
+            for r in rrt_batch(&mut checker, &queries, &RrtConfig::default()) {
                 s.attempted += 1;
-                let mut checker = SoftwareChecker::new(robot.clone(), tree.clone());
-                let r = rrt(&mut checker, &q.start, &q.goal, &RrtConfig::default(), seed);
-                if let Some(p) = &r.path {
+                if let Some(p) = &r.outcome.path {
                     s.solved += 1;
-                    s.avg_cd_queries += r.cd_queries as f64;
+                    s.avg_cd_queries += r.outcome.cd_queries as f64;
                     s.avg_path_length += path_length(p) as f64;
                 }
             }
-            // RRT-Connect.
-            {
-                let s = &mut out[2].1;
+        }
+        // RRT-Connect.
+        {
+            let s = &mut out[2].1;
+            let mut checker = SoftwareChecker::new(robot.clone(), tree.clone());
+            for r in rrt_connect_batch(&mut checker, &queries, &RrtConfig::default()) {
                 s.attempted += 1;
-                let mut checker = SoftwareChecker::new(robot.clone(), tree.clone());
-                let r = rrt_connect(&mut checker, &q.start, &q.goal, &RrtConfig::default(), seed);
-                if let Some(p) = &r.path {
+                if let Some(p) = &r.outcome.path {
                     s.solved += 1;
-                    s.avg_cd_queries += r.cd_queries as f64;
+                    s.avg_cd_queries += r.outcome.cd_queries as f64;
                     s.avg_path_length += path_length(p) as f64;
                 }
             }

@@ -1,7 +1,7 @@
 //! Pose-level collision checking.
 
-use mp_geometry::cascade::{CascadeConfig, CascadeOutcome};
-use mp_geometry::soa::{cascade_batch_soa, CascadeBatchScratch};
+use mp_geometry::cascade::CascadeConfig;
+use mp_geometry::soa::HoistedCascade;
 use mp_geometry::{Obb, Transform};
 use mp_octree::Octree;
 use mp_robot::fk::link_obbs_into;
@@ -78,11 +78,8 @@ pub struct SoftwareChecker {
     // duration of a query so the borrow checker sees disjoint state).
     frame_buf: Vec<Transform>,
     obb_buf: Vec<Obb<f32>>,
-    // Flat-octree traversal buffers, same take/restore discipline: node
-    // stack plus lane scratch for the batched cascade kernel.
+    // Flat-octree traversal buffer, same take/restore discipline.
     stack_buf: Vec<u32>,
-    scratch: CascadeBatchScratch<f32>,
-    outcome_buf: Vec<CascadeOutcome>,
 }
 
 impl SoftwareChecker {
@@ -97,8 +94,6 @@ impl SoftwareChecker {
             frame_buf: Vec::new(),
             obb_buf: Vec::new(),
             stack_buf: Vec::new(),
-            scratch: CascadeBatchScratch::default(),
-            outcome_buf: Vec::new(),
         }
     }
 
@@ -145,37 +140,37 @@ impl CollisionChecker for SoftwareChecker {
         let mut frames = std::mem::take(&mut self.frame_buf);
         let mut obbs = std::mem::take(&mut self.obb_buf);
         let mut stack = std::mem::take(&mut self.stack_buf);
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let mut outcomes = std::mem::take(&mut self.outcome_buf);
         link_obbs_into(&self.robot, cfg, self.trig, &mut frames, &mut obbs);
         let flat = self.octree.flat();
+        let [cx, cy, cz, hx, hy, hz] = flat.aabbs().coord_lanes();
         let mut colliding = false;
+        // Walk-local counters fold into `self.stats` once per query so the
+        // inner loop keeps them in registers.
+        let (mut nodes_visited, mut box_tests, mut mults) = (0u64, 0u64, 0u64);
         for obb in &obbs {
             self.stats.link_tests += 1;
-            // Flat traversal with batched cascades: each visited node's
-            // occupied octants are one contiguous SoA range, evaluated by
-            // the batch kernel, then committed in octant order. Lanes past
-            // a terminal hit are dropped uncommitted, so every counter
-            // matches the scalar early-exit walk exactly.
+            // Flat traversal with the hoisted cascade: squared radii and
+            // SAT constants are computed once per link and reused across
+            // every node the walk visits, with entries resolved in octant
+            // order so counters match the scalar early-exit walk exactly.
+            let mut cascade = HoistedCascade::new(obb, &self.cascade);
             stack.clear();
             stack.push(0u32);
             let mut hit = false;
             'walk: while let Some(addr) = stack.pop() {
-                self.stats.nodes_visited += 1;
-                let range = flat.entries(addr);
-                cascade_batch_soa(
-                    obb,
-                    &self.cascade,
-                    flat.aabbs(),
-                    range.clone(),
-                    &mut scratch,
-                    &mut outcomes,
-                );
-                for (lane, e) in range.enumerate() {
-                    let out = &outcomes[lane];
-                    self.stats.box_tests += 1;
-                    self.stats.mults += out.mults as u64;
+                nodes_visited += 1;
+                let r = flat.entries(addr);
+                let (s, n) = (r.start, r.len());
+                // One bounds check per lane per node instead of one per
+                // entry access.
+                let (bcx, bcy, bcz) = (&cx[s..s + n], &cy[s..s + n], &cz[s..s + n]);
+                let (bhx, bhy, bhz) = (&hx[s..s + n], &hy[s..s + n], &hz[s..s + n]);
+                for k in 0..n {
+                    let out = cascade.outcome(bcx[k], bcy[k], bcz[k], bhx[k], bhy[k], bhz[k]);
+                    box_tests += 1;
+                    mults += out.mults as u64;
                     if out.colliding {
+                        let e = s + k;
                         if flat.is_full(e) {
                             hit = true;
                             break 'walk;
@@ -190,11 +185,12 @@ impl CollisionChecker for SoftwareChecker {
                 break;
             }
         }
+        self.stats.nodes_visited += nodes_visited;
+        self.stats.box_tests += box_tests;
+        self.stats.mults += mults;
         self.frame_buf = frames;
         self.obb_buf = obbs;
         self.stack_buf = stack;
-        self.scratch = scratch;
-        self.outcome_buf = outcomes;
         #[cfg(feature = "telemetry")]
         {
             let box_tests = self.stats.box_tests - tele_box_tests_before;

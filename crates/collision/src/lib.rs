@@ -32,5 +32,7 @@ pub mod motion;
 pub mod self_collision;
 
 pub use checker::{CdStats, CollisionChecker, SoftwareChecker};
-pub use motion::{check_motion, check_path, MotionResult, DEFAULT_CSPACE_STEP};
+pub use motion::{
+    check_motion, check_path, MotionResult, RakeValidator, DEFAULT_CSPACE_STEP, RAKE_WIDTH,
+};
 pub use self_collision::SelfCollisionMatrix;

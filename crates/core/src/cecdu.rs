@@ -10,16 +10,26 @@
 //! for parallel intersection tests is dominated by the highest intersection
 //! test time across all units as we use synchronous scheduling").
 
+use std::cell::Cell;
+
 use mp_collision::{CdStats, CollisionChecker};
 use mp_geometry::cascade::CascadeConfig;
+use mp_geometry::{Obb, Transform};
 use mp_octree::Octree;
-use mp_robot::fk::link_obbs;
+use mp_robot::fk::link_obbs_into;
 use mp_robot::trig::TRIG_LATENCY_CYCLES;
 use mp_robot::{JointConfig, RobotModel, TrigMode};
 use mp_sim::fault::FaultKind;
 use mp_sim::{CecduConfig, FaultInjector, OpCounter};
 
 use crate::oocd::{run_oocd, run_oocd_with_faults, OocdConfig};
+
+thread_local! {
+    // FK scratch reused across pose queries (`CecduSim` is stateless by
+    // design — many callers share one sim immutably — so the per-pose
+    // buffers live here, like the OOCD traversal scratch).
+    static FK_SCRATCH: Cell<(Vec<Transform>, Vec<Obb<f32>>)> = Cell::default();
+}
 
 /// Cycles from pose arrival until the first link OBB is ready: the trig
 /// pipeline depth plus the matrix-multiply/add stage.
@@ -129,7 +139,8 @@ impl CecduSim {
         mp_collision::metrics::record_pose_checks(1);
         #[cfg(feature = "telemetry")]
         let tele_span = mp_telemetry::sampled_span("core", "cecdu_pose");
-        let obbs = link_obbs(&self.robot, pose, self.trig);
+        let (mut frames, mut obbs) = FK_SCRATCH.with(Cell::take);
+        link_obbs_into(&self.robot, pose, self.trig, &mut frames, &mut obbs);
         let oocd_cfg = OocdConfig {
             iu: self.config.iu,
             cascade: self.cascade,
@@ -140,25 +151,22 @@ impl CecduSim {
         let mut colliding = false;
         let n = self.config.oocds.max(1);
 
-        // Per-link OOCD runs (functional outcome + per-link latency).
-        let runs: Vec<_> = obbs
-            .iter()
-            .map(|obb| run_oocd(&self.octree, &obb.quantize(), &oocd_cfg))
-            .collect();
-
         // Timing: links are dispatched to the OOCD array in synchronous
         // waves of `n`; a wave starts once its last OBB has been generated
-        // and the previous wave has drained.
+        // and the previous wave has drained. Waves are evaluated lazily —
+        // only links the hardware actually dispatches run their OOCD
+        // traversal (early exit cancels the rest), which is what the
+        // cycle/op totals counted all along.
         let ready = |i: usize| OBB_GEN_FIRST_READY + OBB_GEN_INTERVAL * i as u64;
         let mut t: u64 = 0;
         let mut i = 0usize;
-        while i < runs.len() {
-            let wave_end_idx = (i + n).min(runs.len());
-            let wave = &runs[i..wave_end_idx];
+        while i < obbs.len() {
+            let wave_end_idx = (i + n).min(obbs.len());
             let start = t.max(ready(wave_end_idx - 1));
-            let dur = wave.iter().map(|r| r.cycles).max().unwrap_or(0);
-            t = start + dur;
-            for r in wave {
+            let mut dur = 0u64;
+            for obb in &obbs[i..wave_end_idx] {
+                let r = run_oocd(&self.octree, &obb.quantize(), &oocd_cfg);
+                dur = dur.max(r.cycles);
                 ops += r.ops;
                 ops.mults += OBB_GEN_MULTS;
                 links_checked += 1;
@@ -166,11 +174,13 @@ impl CecduSim {
                     colliding = true;
                 }
             }
+            t = start + dur;
             if colliding {
                 break; // Result Collector stops subsequent waves.
             }
             i = wave_end_idx;
         }
+        FK_SCRATCH.set((frames, obbs));
         // +1 cycle for the Result Collector to report back.
         ops.cd_queries += 1;
         #[cfg(feature = "telemetry")]
@@ -209,7 +219,8 @@ impl CecduSim {
         detection: bool,
     ) -> FaultyCecduOutcome {
         assert_eq!(pose.dof(), self.robot.dof(), "configuration DOF mismatch");
-        let obbs = link_obbs(&self.robot, pose, self.trig);
+        let (mut frames, mut obbs) = FK_SCRATCH.with(Cell::take);
+        link_obbs_into(&self.robot, pose, self.trig, &mut frames, &mut obbs);
         let oocd_cfg = OocdConfig {
             iu: self.config.iu,
             cascade: self.cascade,
@@ -262,6 +273,7 @@ impl CecduSim {
             }
             i = wave_end_idx;
         }
+        FK_SCRATCH.set((frames, obbs));
         ops.cd_queries += 1;
         FaultyCecduOutcome {
             result: CecduResult {

@@ -14,10 +14,9 @@
 
 use std::cell::Cell;
 
-use mp_fixed::Fx;
-use mp_geometry::cascade::{CascadeConfig, CascadeOutcome};
-use mp_geometry::soa::{cascade_batch_soa, CascadeBatchScratch};
-use mp_geometry::{FxObb, Obb};
+use mp_geometry::cascade::CascadeConfig;
+use mp_geometry::soa::HoistedCascade;
+use mp_geometry::{AabbF, FxObb, Obb};
 use mp_octree::{Node, Occupancy, Octree};
 use mp_sim::fault::{parity24, FaultKind, SRAM_WORD_BITS};
 use mp_sim::{FaultInjector, IuKind, OpCounter};
@@ -25,13 +24,10 @@ use mp_sim::{FaultInjector, IuKind, OpCounter};
 use crate::intersection_unit::{self, IU_PIPELINE_DEPTH};
 
 thread_local! {
-    // Reusable traversal buffers (stack of node addresses, batch-kernel
-    // lane scratch, per-entry outcomes). Taken out of the cell per query
-    // and put back afterwards, like the octree's own traversal stack:
+    // Reusable traversal stacks, taken out of the cell per query and put
+    // back afterwards, like the octree's own traversal stack:
     // allocation-free in steady state, reentrancy-safe.
-    #[allow(clippy::type_complexity)]
-    static OOCD_SCRATCH: Cell<(Vec<u32>, CascadeBatchScratch<Fx>, Vec<CascadeOutcome>)> =
-        Cell::new((Vec::new(), CascadeBatchScratch::default(), Vec::new()));
+    static OOCD_STACK: Cell<Vec<u32>> = Cell::default();
 }
 
 /// Configuration of one OOCD.
@@ -88,36 +84,29 @@ pub fn run_oocd(octree: &Octree, obb: &FxObb, cfg: &OocdConfig) -> OocdResult {
     let mut ops = OpCounter::default();
     let flat = octree.flat();
 
-    let (mut stack, mut scratch, mut outcomes) = OOCD_SCRATCH.with(Cell::take);
+    let mut stack = OOCD_STACK.with(Cell::take);
     // The traversal stack models the Address Register + Node Queue.
     stack.clear();
     stack.push(0u32);
     let mut hit = false;
+
+    // The node entries' Q3.12 boxes are precomputed in the arena (same
+    // quantize-roundtrip chain the per-octant walk derived); each lane
+    // runs the hoisted cascade kernel — squared radii and SAT constants
+    // derived once per link query, reused across every visited node — and
+    // is committed in octant order with the unit's timing model, so
+    // cycle/op totals replicate the scalar walk exactly.
+    let [cx, cy, cz, hx, hy, hz] = flat.aabbs_oocd().coord_lanes();
+    let mut cascade = HoistedCascade::new(obb, &cfg.cascade);
 
     'walk: while let Some(addr) = stack.pop() {
         // SRAM read of the 24-bit node word.
         cycles += 1;
         ops.sram_reads += 1;
 
-        // The node's occupied octants form a contiguous entry range whose
-        // Q3.12 boxes are precomputed in the arena (same quantize-roundtrip
-        // chain the per-octant walk derived); the whole range goes through
-        // the batch cascade kernel, then each lane is committed in octant
-        // order with the unit's timing model. Lanes past a terminal hit
-        // are discarded uncommitted, so cycle/op totals replicate the
-        // scalar walk exactly.
-        let range = flat.entries(addr);
-        cascade_batch_soa(
-            obb,
-            &cfg.cascade,
-            flat.aabbs_oocd(),
-            range.clone(),
-            &mut scratch,
-            &mut outcomes,
-        );
-        for (lane, e) in range.enumerate() {
-            let out =
-                intersection_unit::outcome_from_cascade(&outcomes[lane], &cfg.cascade, cfg.iu);
+        for e in flat.entries(addr) {
+            let lane = cascade.outcome(cx[e], cy[e], cz[e], hx[e], hy[e], hz[e]);
+            let out = intersection_unit::outcome_from_cascade(&lane, &cfg.cascade, cfg.iu);
             ops += out.ops;
             match cfg.iu {
                 // The unit is busy for the whole cascade.
@@ -140,7 +129,7 @@ pub fn run_oocd(octree: &Octree, obb: &FxObb, cfg: &OocdConfig) -> OocdResult {
     }
 
     stack.clear();
-    OOCD_SCRATCH.with(|cell| cell.set((stack, scratch, outcomes)));
+    OOCD_STACK.with(|cell| cell.set(stack));
 
     if cfg.iu == IuKind::Pipelined {
         // Drain: for a hit, the terminal result must leave the pipeline;
@@ -235,9 +224,8 @@ pub fn run_oocd_with_faults(
     // batched path of `run_oocd`); once an upset corrupts a word, every box
     // downstream is derived from the corrupted path on the fly, exactly as
     // the hardware would.
-    let mut stack: Vec<(u32, mp_geometry::AabbF, bool)> = vec![(0, octree.root_aabb(), true)];
-    let mut scratch = CascadeBatchScratch::default();
-    let mut outcomes: Vec<CascadeOutcome> = Vec::new();
+    let mut stack: Vec<(u32, AabbF, bool)> = vec![(0, octree.root_aabb(), true)];
+    let mut cascade = HoistedCascade::new(obb, &cfg.cascade);
 
     let detect = |mut o: FaultyOocdOutcome, cycles: u64, ops: OpCounter| {
         // Conservative in-unit fallback: report the octant occupied.
@@ -303,18 +291,10 @@ pub fn run_oocd_with_faults(
             // Decoded word equals the stored node and the parent box is on
             // the builder's chain: the arena's precomputed Q3.12 boxes are
             // exactly what the per-octant walk would derive. Batch them.
-            let range = flat.entries(addr);
-            cascade_batch_soa(
-                obb,
-                &cfg.cascade,
-                flat.aabbs_oocd(),
-                range.clone(),
-                &mut scratch,
-                &mut outcomes,
-            );
-            for (lane, e) in range.enumerate() {
-                let iu_out =
-                    intersection_unit::outcome_from_cascade(&outcomes[lane], &cfg.cascade, cfg.iu);
+            let [cx, cy, cz, hx, hy, hz] = flat.aabbs_oocd().coord_lanes();
+            for e in flat.entries(addr) {
+                let lane = cascade.outcome(cx[e], cy[e], cz[e], hx[e], hy[e], hz[e]);
+                let iu_out = intersection_unit::outcome_from_cascade(&lane, &cfg.cascade, cfg.iu);
                 ops += iu_out.ops;
                 match cfg.iu {
                     IuKind::MultiCycle => cycles += iu_out.initiation_interval as u64,

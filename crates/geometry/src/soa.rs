@@ -16,10 +16,13 @@
 //! operands and operation order give identical IEEE-754 and fixed-point
 //! results) and never reorders per-lane arithmetic.
 //!
-//! With the `simd` feature (off by default) the `f32` lane loops run through
+//! With the `simd` feature (on by default) the `f32` lane loops run through
 //! an explicitly width-blocked path (fixed 8-lane chunks, see
 //! [`wide`](self::wide)) instead of relying on the autovectorizer's
-//! judgement; results are identical either way.
+//! judgement; results are identical either way. The blocked path sits
+//! behind a runtime width switch ([`wide::dispatch_width`]) so a build can
+//! fall back to the generic sweep without recompiling; compiling with
+//! `--no-default-features` removes the blocked path entirely.
 
 use core::ops::Range;
 
@@ -130,6 +133,15 @@ impl<S: Scalar> AabbSoa<S> {
             center: Vector3::new(self.cx[i], self.cy[i], self.cz[i]),
             half: Vector3::new(self.hx[i], self.hy[i], self.hz[i]),
         }
+    }
+
+    /// Borrows the six coordinate lane arrays `[cx, cy, cz, hx, hy, hz]`
+    /// directly. This is the zero-copy entry point for fused traversals
+    /// (e.g. the collision checker's per-link walk) that index entries out
+    /// of a shared batch instead of going through a kernel call per node.
+    #[inline]
+    pub fn coord_lanes(&self) -> [&[S]; 6] {
+        [&self.cx, &self.cy, &self.cz, &self.hx, &self.hy, &self.hz]
     }
 }
 
@@ -615,6 +627,168 @@ pub fn cascade_batch_soa<S: Scalar>(
     }
 }
 
+/// One OBB's cascade state hoisted for a whole traversal (or a whole rake
+/// of traversals): the sphere radii are squared once, and the SAT constants
+/// are derived lazily on the first lane that reaches the SAT stages — then
+/// reused for every subsequent lane instead of being rebuilt per node the
+/// way [`cascade_batch_soa`] has to when called once per octree node.
+///
+/// [`HoistedCascade::outcome`] is **bit-identical** to the scalar
+/// [`crate::cascade::cascaded_obb_aabb`] (and therefore to
+/// [`cascade_batch_soa`]) on the same pair: same verdict, exit stage, first
+/// separating axis, multiplication count and stages executed. It is the
+/// per-lane kernel of the rake-style motion validator: one instance per
+/// (pose, link) OBB, driven across every entry its octree walk touches.
+///
+/// # Examples
+///
+/// ```
+/// use mp_geometry::cascade::{cascaded_obb_aabb, CascadeConfig};
+/// use mp_geometry::soa::HoistedCascade;
+/// use mp_geometry::{Aabb, Mat3, Obb, Vec3};
+///
+/// let obb = Obb::new(Vec3::zero(), Vec3::splat(0.1), Mat3::rotation_z(0.3));
+/// let aabb = Aabb::new(Vec3::new(0.2, 0.0, 0.0), Vec3::splat(0.1));
+/// let cfg = CascadeConfig::proposed();
+/// let mut hoisted = HoistedCascade::new(&obb, &cfg);
+/// assert_eq!(
+///     hoisted.outcome(aabb.center.x, aabb.center.y, aabb.center.z,
+///                     aabb.half.x, aabb.half.y, aabb.half.z),
+///     cascaded_obb_aabb(&obb, &aabb, &cfg),
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct HoistedCascade<S: Scalar> {
+    obb: Obb<S>,
+    cfg: CascadeConfig,
+    br2: S,
+    ir2: S,
+    sphere_stage: u32,
+    sphere_mults: u32,
+    consts: Option<SatConsts<S>>,
+}
+
+impl<S: Scalar> HoistedCascade<S> {
+    /// Hoists the per-OBB state (squared radii; SAT constants stay lazy,
+    /// exactly as in the scalar cascade, so sphere-resolved traversals
+    /// never pay for them).
+    pub fn new(obb: &Obb<S>, cfg: &CascadeConfig) -> HoistedCascade<S> {
+        HoistedCascade {
+            obb: *obb,
+            cfg: *cfg,
+            br2: obb.bounding_radius * obb.bounding_radius,
+            ir2: obb.inscribed_radius * obb.inscribed_radius,
+            sphere_stage: u32::from(cfg.bounding_sphere_filter || cfg.inscribed_sphere_filter),
+            sphere_mults: (u32::from(cfg.bounding_sphere_filter)
+                + u32::from(cfg.inscribed_sphere_filter))
+                * SPHERE_AABB_MULS,
+            consts: None,
+        }
+    }
+
+    /// Squared distance from the OBB centre to the box `(c, h)` — the
+    /// shared quantity both sphere filters compare against their squared
+    /// radius; per-component arithmetic identical to the scalar
+    /// [`crate::sphere::sphere_aabb_overlap`].
+    #[inline]
+    fn sphere_d2(&self, cx: S, cy: S, cz: S, hx: S, hy: S, hz: S) -> S {
+        let p = self.obb.center;
+        let qx = p.x.max_val(cx - hx).min_val(cx + hx);
+        let qy = p.y.max_val(cy - hy).min_val(cy + hy);
+        let qz = p.z.max_val(cz - hz).min_val(cz + hz);
+        let dx = qx - p.x;
+        let dy = qy - p.y;
+        let dz = qz - p.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Runs the cascade against one AABB given as raw center/half lanes
+    /// (the layout [`AabbSoa::coord_lanes`] exposes). Bit-identical to
+    /// [`crate::cascade::cascaded_obb_aabb`] on the reconstructed box.
+    #[inline]
+    pub fn outcome(&mut self, cx: S, cy: S, cz: S, hx: S, hy: S, hz: S) -> CascadeOutcome {
+        let d2 = if self.sphere_stage != 0 {
+            self.sphere_d2(cx, cy, cz, hx, hy, hz)
+        } else {
+            self.br2
+        };
+        self.outcome_with_d2(d2, cx, cy, cz, hx, hy, hz)
+    }
+
+    /// [`HoistedCascade::outcome`] with the sphere-stage squared distance
+    /// already computed (e.g. by a lane-blocked prefilter sweep over a
+    /// whole octree node). `d2` must equal what
+    /// [`HoistedCascade::outcome`] would derive for the same box — the
+    /// clamp point is radius-independent, so one value serves both the
+    /// bounding and the inscribed filter.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn outcome_with_d2(
+        &mut self,
+        d2: S,
+        cx: S,
+        cy: S,
+        cz: S,
+        hx: S,
+        hy: S,
+        hz: S,
+    ) -> CascadeOutcome {
+        // Same polarity as the scalar filter (`overlap = d2 <= r2`, exit
+        // on `!overlap`), so incomparable values take the identical arm.
+        let bounding_overlap = d2 <= self.br2;
+        if self.cfg.bounding_sphere_filter && !bounding_overlap {
+            return CascadeOutcome {
+                colliding: false,
+                exit: ExitStage::BoundingSphere,
+                separating_axis: None,
+                mults: SPHERE_AABB_MULS,
+                stages_executed: 1,
+            };
+        }
+        if self.cfg.inscribed_sphere_filter && d2 <= self.ir2 {
+            let mut mults = SPHERE_AABB_MULS;
+            if self.cfg.bounding_sphere_filter {
+                mults += SPHERE_AABB_MULS;
+            }
+            return CascadeOutcome {
+                colliding: true,
+                exit: ExitStage::InscribedSphere,
+                separating_axis: None,
+                mults,
+                stages_executed: 1,
+            };
+        }
+        let obb = &self.obb;
+        let c = self.consts.get_or_insert_with(|| SatConsts::new(obb));
+        let p = self.obb.center;
+        let t = [p.x - cx, p.y - cy, p.z - cz];
+        let b = [hx, hy, hz];
+        let mut mults = self.sphere_mults;
+        let mut stages = self.sphere_stage;
+        for k in 0..3 {
+            let (start, len) = self.cfg.split.stage_range(k);
+            mults += range_mult_count(start, len);
+            stages += 1;
+            if let Some(raw) = (start..start + len).find(|&raw| sat_axis_lane(raw, c, t, b)) {
+                return CascadeOutcome {
+                    colliding: false,
+                    exit: ExitStage::Sat(k as u8 + 1),
+                    separating_axis: Some(AxisId::new(raw)),
+                    mults,
+                    stages_executed: stages,
+                };
+            }
+        }
+        CascadeOutcome {
+            colliding: true,
+            exit: ExitStage::Exhausted,
+            separating_axis: None,
+            mults,
+            stages_executed: stages,
+        }
+    }
+}
+
 /// Explicitly width-blocked `f32` lane kernels (the `simd` feature).
 ///
 /// The crate forbids `unsafe`, and stable Rust has no portable SIMD API, so
@@ -637,6 +811,23 @@ pub mod wide {
     /// Block width: 8 × f32 = one AVX register.
     pub const LANES: usize = 8;
 
+    /// Runtime kernel width: `8` routes `f32` lane sweeps through the
+    /// width-blocked kernels below, `1` falls back to the generic sweep
+    /// (identical results — the switch exists so a deployment can disable
+    /// explicit blocking without a scalar rebuild). Selected once per
+    /// process from `MPACCEL_SIMD_WIDTH` (accepted values: `1`, `8`;
+    /// default `8`).
+    pub fn dispatch_width() -> usize {
+        use std::sync::OnceLock;
+        static WIDTH: OnceLock<usize> = OnceLock::new();
+        *WIDTH.get_or_init(
+            || match std::env::var("MPACCEL_SIMD_WIDTH").ok().as_deref() {
+                Some("1") => 1,
+                _ => LANES,
+            },
+        )
+    }
+
     /// Width-blocked counterpart of the generic sphere–AABB lane pass.
     #[allow(clippy::too_many_arguments)]
     pub fn sphere_lanes_f32(
@@ -651,6 +842,9 @@ pub mod wide {
         out: &mut [bool],
     ) {
         let n = out.len();
+        if dispatch_width() < LANES {
+            return super::sphere_lanes_generic(p, r2, cx, cy, cz, hx, hy, hz, out);
+        }
         let mut base = 0;
         while base + LANES <= n {
             let mut d2 = [0f32; LANES];
@@ -691,6 +885,9 @@ pub mod wide {
         first: &mut [u8],
     ) {
         let n = first.len();
+        if dispatch_width() < LANES {
+            return super::sat_axis_lanes_generic(raw, c, ts, bs, first);
+        }
         let mut sep = [false; LANES];
         let mut base = 0;
         while base + LANES <= n {
@@ -834,6 +1031,39 @@ mod tests {
                 let want = cascaded_obb_aabb(&obb, &soa.get(l), &cfg);
                 assert_eq!(*got, want, "lane {l} cfg {cfg:?}");
             }
+        }
+    }
+
+    #[test]
+    fn hoisted_cascade_matches_scalar_per_lane() {
+        let (obb, soa) = sample_boxes();
+        for cfg in [
+            CascadeConfig::proposed(),
+            CascadeConfig::without_filters(),
+            CascadeConfig::bounding_only(),
+        ] {
+            let mut hoisted = HoistedCascade::new(&obb, &cfg);
+            let [cx, cy, cz, hx, hy, hz] = soa.coord_lanes();
+            for l in 0..soa.len() {
+                let got = hoisted.outcome(cx[l], cy[l], cz[l], hx[l], hy[l], hz[l]);
+                let want = cascaded_obb_aabb(&obb, &soa.get(l), &cfg);
+                assert_eq!(got, want, "lane {l} cfg {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hoisted_cascade_fixed_point_matches_scalar() {
+        let (obb, soa) = sample_boxes();
+        let q = obb.quantize();
+        let cfg = CascadeConfig::proposed();
+        let mut hoisted = HoistedCascade::new(&q, &cfg);
+        for l in 0..soa.len() {
+            let b = soa.get(l).quantize();
+            let got = hoisted.outcome(
+                b.center.x, b.center.y, b.center.z, b.half.x, b.half.y, b.half.z,
+            );
+            assert_eq!(got, cascaded_obb_aabb(&q, &b, &cfg), "lane {l}");
         }
     }
 

@@ -17,11 +17,15 @@
 //!   per scene),
 //! * [`tiers`] — the graceful-degradation ladder (full MPNet → reduced
 //!   MPNet → budgeted RRT-Connect → coarse-octree RRT) the planning
-//!   service steps overloaded requests down.
+//!   service steps overloaded requests down,
+//! * [`batch`] — the cross-query batched planning engine: lockstep tree
+//!   growth over one shared validation stream per scene, bit-identical to
+//!   the sequential planners lane-for-lane.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod certify;
 pub mod mpnet;
 pub mod nn;
@@ -30,6 +34,10 @@ pub mod rrt;
 pub mod sampler;
 pub mod tiers;
 
+pub use batch::{
+    mpnet_stream, plan_at_tier_batch, rrt_batch, rrt_connect_batch, BatchLaneOutcome,
+    BatchPlanOutcome, BatchQuery,
+};
 pub use certify::{CertifyOutcome, PlanCertifier, CERTIFY_QUERY_MODELED_US};
 pub use mpnet::{
     plan, plan_with_fallback, BudgetResource, FallbackPlanOutcome, MpnetConfig, PlanBudget,

@@ -58,33 +58,120 @@ impl RrtOutcome {
     }
 }
 
-struct Tree {
+/// Nearest-neighbour block width: 8 × f32, matching the geometry crate's
+/// lane-blocked kernels (one AVX register).
+const NN_LANES: usize = 8;
+
+/// A growing RRT tree in joint-major SoA layout, with an 8-lane blocked
+/// nearest-neighbour scan (the planner-side hot loop).
+pub struct Tree {
     nodes: Vec<JointConfig>,
     parents: Vec<usize>,
+    /// Joint-major copy of `nodes` (`lanes[j][i]` = joint `j` of node
+    /// `i`): the nearest-neighbour scan is the planner-side hot loop, and
+    /// the transposed layout lets it sweep eight nodes per step as packed
+    /// lanes instead of chasing a heap allocation per node.
+    lanes: Vec<Vec<f32>>,
 }
 
 impl Tree {
-    fn new(root: JointConfig) -> Tree {
-        Tree {
-            nodes: vec![root],
-            parents: vec![0],
-        }
+    /// A tree containing only `root` (parent-linked to itself).
+    pub fn new(root: JointConfig) -> Tree {
+        let mut t = Tree {
+            nodes: Vec::new(),
+            parents: Vec::new(),
+            lanes: vec![Vec::new(); root.dof()],
+        };
+        t.push(root, 0);
+        t
     }
 
-    fn nearest(&self, q: &JointConfig) -> usize {
+    /// Appends node `q` with parent index `parent`.
+    ///
+    /// # Panics
+    ///
+    /// May panic (debug) if `q`'s DOF mismatches the root's.
+    pub fn push(&mut self, q: JointConfig, parent: usize) {
+        debug_assert_eq!(q.dof(), self.lanes.len(), "DOF mismatch in tree push");
+        for (lane, &v) in self.lanes.iter_mut().zip(q.as_slice()) {
+            lane.push(v);
+        }
+        self.nodes.push(q);
+        self.parents.push(parent);
+    }
+
+    /// Node count.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configuration at node `i`.
+    pub fn node(&self, i: usize) -> &JointConfig {
+        &self.nodes[i]
+    }
+
+    /// Index of the node nearest to `q` (C-space L2), scanning eight
+    /// nodes per step over the joint-major lanes. Bit-identical to the
+    /// naive per-node scan: the blocked accumulation follows the same
+    /// per-node summation order, and the sqrt gate only skips nodes whose
+    /// squared distance already lost.
+    pub fn nearest(&self, q: &JointConfig) -> usize {
+        let qs = q.as_slice();
+        assert_eq!(self.lanes.len(), qs.len(), "DOF mismatch in distance");
         let mut best = 0;
         let mut best_d = f32::INFINITY;
-        for (i, n) in self.nodes.iter().enumerate() {
-            let d = n.distance(q);
-            if d < best_d {
-                best_d = d;
-                best = i;
+        let mut best_acc = f32::INFINITY;
+        // Bit-identity with the naive per-node `JointConfig::distance`
+        // scan: each node's squared sum accumulates in joint order (the
+        // blocking is across nodes, never within one node's sum),
+        // candidates resolve in index order, and sqrt is monotone
+        // non-decreasing — a sum at or above the incumbent's can never
+        // win the `d < best_d` compare, so only strictly smaller sums
+        // take the sqrt, where rounding ties resolve exactly as the
+        // unguarded compare would. Ties therefore break to the same
+        // index as the naive scan.
+        let mut resolve = |i: usize, acc: f32| {
+            if acc < best_acc {
+                let d = acc.sqrt();
+                if d < best_d {
+                    best_d = d;
+                    best_acc = acc;
+                    best = i;
+                }
             }
+        };
+        let n_nodes = self.nodes.len();
+        let mut i = 0;
+        while i + NN_LANES <= n_nodes {
+            let mut acc = [0.0f32; NN_LANES];
+            for (lane, &q) in self.lanes.iter().zip(qs) {
+                let block = &lane[i..i + NN_LANES];
+                for k in 0..NN_LANES {
+                    let d = block[k] - q;
+                    acc[k] += d * d;
+                }
+            }
+            for (k, &a) in acc.iter().enumerate() {
+                resolve(i + k, a);
+            }
+            i += NN_LANES;
+        }
+        while i < n_nodes {
+            let acc = self
+                .lanes
+                .iter()
+                .zip(qs)
+                .map(|(lane, &q)| (lane[i] - q) * (lane[i] - q))
+                .sum::<f32>();
+            resolve(i, acc);
+            i += 1;
         }
         best
     }
 
-    fn path_to_root(&self, mut i: usize) -> Vec<JointConfig> {
+    /// The path from node `i` back to the root, returned root-first.
+    pub fn path_to_root(&self, mut i: usize) -> Vec<JointConfig> {
         let mut out = vec![self.nodes[i].clone()];
         while self.parents[i] != i {
             i = self.parents[i];
@@ -95,7 +182,7 @@ impl Tree {
     }
 }
 
-fn steer(from: &JointConfig, to: &JointConfig, step: f32) -> JointConfig {
+pub(crate) fn steer(from: &JointConfig, to: &JointConfig, step: f32) -> JointConfig {
     let d = from.distance(to);
     if d <= step {
         to.clone()
@@ -132,37 +219,36 @@ pub fn rrt(
         };
     }
     let mut tree = Tree::new(start.clone());
-    while tree.nodes.len() < cfg.max_nodes && !out_of_budget(checker, cd_before, cfg) {
+    while tree.len() < cfg.max_nodes && !out_of_budget(checker, cd_before, cfg) {
         let target = if rng.gen::<f32>() < cfg.goal_bias {
             goal.clone()
         } else {
             robot.sample_config(&mut rng)
         };
         let near = tree.nearest(&target);
-        let new = steer(&tree.nodes[near], &target, cfg.steer_step);
-        let edge = Motion::new(tree.nodes[near].clone(), new.clone());
+        let new = steer(tree.node(near), &target, cfg.steer_step);
+        let edge = Motion::new(tree.node(near).clone(), new.clone());
         if check_motion(checker, &edge, cfg.cspace_step).colliding {
             continue;
         }
-        tree.nodes.push(new.clone());
-        tree.parents.push(near);
+        tree.push(new.clone(), near);
         // Goal connection attempt.
         let to_goal = Motion::new(new.clone(), goal.clone());
         if new.distance(goal) <= cfg.steer_step
             && !check_motion(checker, &to_goal, cfg.cspace_step).colliding
         {
-            let mut path = tree.path_to_root(tree.nodes.len() - 1);
+            let mut path = tree.path_to_root(tree.len() - 1);
             path.push(goal.clone());
             return RrtOutcome {
                 path: Some(path),
-                nodes: tree.nodes.len(),
+                nodes: tree.len(),
                 cd_queries: checker.stats().pose_queries - cd_before,
             };
         }
     }
     RrtOutcome {
         path: None,
-        nodes: tree.nodes.len(),
+        nodes: tree.len(),
         cd_queries: checker.stats().pose_queries - cd_before,
     }
 }
@@ -195,33 +281,30 @@ pub fn rrt_connect(
     let mut tb = Tree::new(goal.clone());
     let mut a_is_start = true;
 
-    while ta.nodes.len() + tb.nodes.len() < cfg.max_nodes && !out_of_budget(checker, cd_before, cfg)
-    {
+    while ta.len() + tb.len() < cfg.max_nodes && !out_of_budget(checker, cd_before, cfg) {
         let target = robot.sample_config(&mut rng);
         // Extend tree A toward the sample.
         let near_a = ta.nearest(&target);
-        let new_a = steer(&ta.nodes[near_a], &target, cfg.steer_step);
-        let edge = Motion::new(ta.nodes[near_a].clone(), new_a.clone());
+        let new_a = steer(ta.node(near_a), &target, cfg.steer_step);
+        let edge = Motion::new(ta.node(near_a).clone(), new_a.clone());
         if !check_motion(checker, &edge, cfg.cspace_step).colliding {
-            ta.nodes.push(new_a.clone());
-            ta.parents.push(near_a);
+            ta.push(new_a.clone(), near_a);
             // Greedily connect tree B toward the new node.
             loop {
                 if out_of_budget(checker, cd_before, cfg) {
                     break;
                 }
                 let near_b = tb.nearest(&new_a);
-                let step_b = steer(&tb.nodes[near_b], &new_a, cfg.steer_step);
-                let edge_b = Motion::new(tb.nodes[near_b].clone(), step_b.clone());
+                let step_b = steer(tb.node(near_b), &new_a, cfg.steer_step);
+                let edge_b = Motion::new(tb.node(near_b).clone(), step_b.clone());
                 if check_motion(checker, &edge_b, cfg.cspace_step).colliding {
                     break;
                 }
-                tb.nodes.push(step_b.clone());
-                tb.parents.push(near_b);
+                tb.push(step_b.clone(), near_b);
                 if step_b.distance(&new_a) < 1e-4 {
                     // Trees met: assemble the path.
-                    let pa = ta.path_to_root(ta.nodes.len() - 1);
-                    let pb = tb.path_to_root(tb.nodes.len() - 1);
+                    let pa = ta.path_to_root(ta.len() - 1);
+                    let pb = tb.path_to_root(tb.len() - 1);
                     let mut path = if a_is_start { pa.clone() } else { pb.clone() };
                     let mut tail = if a_is_start { pb } else { pa };
                     tail.reverse();
@@ -229,7 +312,7 @@ pub fn rrt_connect(
                     dedup(&mut path);
                     return RrtOutcome {
                         path: Some(path),
-                        nodes: ta.nodes.len() + tb.nodes.len(),
+                        nodes: ta.len() + tb.len(),
                         cd_queries: checker.stats().pose_queries - cd_before,
                     };
                 }
@@ -240,12 +323,12 @@ pub fn rrt_connect(
     }
     RrtOutcome {
         path: None,
-        nodes: ta.nodes.len() + tb.nodes.len(),
+        nodes: ta.len() + tb.len(),
         cd_queries: checker.stats().pose_queries - cd_before,
     }
 }
 
-fn dedup(path: &mut Vec<JointConfig>) {
+pub(crate) fn dedup(path: &mut Vec<JointConfig>) {
     path.dedup_by(|a, b| a.distance(b) < 1e-6);
 }
 

@@ -1,0 +1,187 @@
+//! Differential bit-identity properties of the cross-query batch engine:
+//! for any scene, query set and seeds, every batched lane must reproduce
+//! the sequential planner *exactly* — same plan (every waypoint
+//! bit-equal), same node counts, and the same `CdStats` down to the
+//! multiplication counters. Checked over both collision chains:
+//!
+//! * the f32 software chain ([`SoftwareChecker`]), and
+//! * the Q3.12 fixed-point CECDU chain ([`CecduChecker`] over
+//!   [`CecduSim`]), whose quantized cascade takes different branches than
+//!   the float path and would expose any lane cross-talk immediately.
+//!
+//! The batch engine interleaves lanes over one shared checker, so these
+//! properties pin exactly the contract the engine claims: interleaving
+//! changes *when* checks run, never *what* they compute.
+
+use mp_collision::{CdStats, CollisionChecker, SoftwareChecker};
+use mp_octree::{Scene, SceneConfig};
+use mp_planner::batch::{rrt_batch, rrt_connect_batch, BatchQuery};
+use mp_planner::rrt::{rrt, rrt_connect, RrtConfig, RrtOutcome};
+use mp_robot::RobotModel;
+use mp_sim::{CecduConfig, IuKind};
+use mpaccel_core::{CecduChecker, CecduSim};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tight budget so adversarial (unsolvable) queries terminate quickly.
+fn cfg() -> RrtConfig {
+    RrtConfig {
+        max_cd_queries: Some(1500),
+        ..RrtConfig::default()
+    }
+}
+
+/// Random queries with endpoints sampled from the robot's C-space —
+/// deliberately *not* filtered for validity, so lanes that fail endpoint
+/// validation (an early-exit path in the engine) are exercised too.
+fn make_queries(robot: &RobotModel, n: usize, seed: u64) -> Vec<BatchQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| BatchQuery {
+            start: robot.sample_config(&mut rng),
+            goal: robot.sample_config(&mut rng),
+            seed: seed ^ (0x9e37 + i as u64),
+        })
+        .collect()
+}
+
+fn assert_lane_identical(
+    lane: usize,
+    seq: &RrtOutcome,
+    seq_stats: CdStats,
+    batch: &RrtOutcome,
+    batch_stats: CdStats,
+) {
+    assert_eq!(seq.path, batch.path, "lane {lane}: paths diverged");
+    assert_eq!(seq.nodes, batch.nodes, "lane {lane}: node counts diverged");
+    assert_eq!(
+        seq.cd_queries, batch.cd_queries,
+        "lane {lane}: CD query counts diverged"
+    );
+    assert_eq!(
+        seq_stats, batch_stats,
+        "lane {lane}: CdStats diverged (work attribution is off)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// RRT-Connect over the f32 software chain: batched lanes ==
+    /// sequential runs, stats and all.
+    #[test]
+    fn connect_batch_matches_sequential_f32(
+        scene_seed in 0u64..6,
+        query_seed in 0u64..1000,
+        lanes in 1usize..5,
+    ) {
+        let robot = RobotModel::jaco2();
+        let tree = Scene::random(SceneConfig::paper(), scene_seed).octree();
+        let queries = make_queries(&robot, lanes, query_seed);
+        let cfg = cfg();
+
+        let seq: Vec<(RrtOutcome, CdStats)> = queries
+            .iter()
+            .map(|q| {
+                let mut ck = SoftwareChecker::new(robot.clone(), tree.clone());
+                let out = rrt_connect(&mut ck, &q.start, &q.goal, &cfg, q.seed);
+                (out, ck.stats())
+            })
+            .collect();
+
+        let mut shared = SoftwareChecker::new(robot.clone(), tree.clone());
+        let batched = rrt_connect_batch(&mut shared, &queries, &cfg);
+
+        prop_assert_eq!(seq.len(), batched.len());
+        for (i, ((s, st), b)) in seq.iter().zip(&batched).enumerate() {
+            assert_lane_identical(i, s, *st, &b.outcome, b.stats);
+        }
+        // The shared checker saw exactly the sum of all lanes' work.
+        let mut total = CdStats::default();
+        for b in &batched {
+            total.absorb(b.stats);
+        }
+        prop_assert_eq!(total, shared.stats());
+    }
+
+    /// RRT-Connect over the Q3.12 CECDU chain: the fixed-point cascade
+    /// branches differently from f32, so any shared-state leak between
+    /// lanes shows up here even if the float test passes.
+    #[test]
+    fn connect_batch_matches_sequential_q312(
+        scene_seed in 0u64..4,
+        query_seed in 0u64..1000,
+        lanes in 1usize..4,
+    ) {
+        let robot = RobotModel::jaco2();
+        let octree = Scene::random(SceneConfig::paper(), scene_seed).octree();
+        let queries = make_queries(&robot, lanes, query_seed);
+        let cfg = cfg();
+        let sim = CecduSim::new(
+            robot.clone(),
+            octree,
+            CecduConfig::new(4, IuKind::MultiCycle),
+        );
+
+        let seq: Vec<(RrtOutcome, CdStats)> = queries
+            .iter()
+            .map(|q| {
+                let mut ck = CecduChecker::new(sim.clone());
+                let out = rrt_connect(&mut ck, &q.start, &q.goal, &cfg, q.seed);
+                (out, ck.stats())
+            })
+            .collect();
+
+        let mut shared = CecduChecker::new(sim);
+        let batched = rrt_connect_batch(&mut shared, &queries, &cfg);
+
+        prop_assert_eq!(seq.len(), batched.len());
+        for (i, ((s, st), b)) in seq.iter().zip(&batched).enumerate() {
+            assert_lane_identical(i, s, *st, &b.outcome, b.stats);
+        }
+    }
+
+    /// Plain goal-biased RRT over the f32 chain (the other lockstep
+    /// grower shares none of RRT-Connect's lane code paths).
+    #[test]
+    fn rrt_batch_matches_sequential_f32(
+        scene_seed in 0u64..4,
+        query_seed in 0u64..1000,
+        lanes in 1usize..4,
+    ) {
+        let robot = RobotModel::jaco2();
+        let tree = Scene::random(SceneConfig::paper(), scene_seed).octree();
+        let queries = make_queries(&robot, lanes, query_seed);
+        let cfg = cfg();
+
+        let seq: Vec<(RrtOutcome, CdStats)> = queries
+            .iter()
+            .map(|q| {
+                let mut ck = SoftwareChecker::new(robot.clone(), tree.clone());
+                let out = rrt(&mut ck, &q.start, &q.goal, &cfg, q.seed);
+                (out, ck.stats())
+            })
+            .collect();
+
+        let mut shared = SoftwareChecker::new(robot.clone(), tree.clone());
+        let batched = rrt_batch(&mut shared, &queries, &cfg);
+
+        prop_assert_eq!(seq.len(), batched.len());
+        for (i, ((s, st), b)) in seq.iter().zip(&batched).enumerate() {
+            assert_lane_identical(i, s, *st, &b.outcome, b.stats);
+        }
+    }
+}
+
+/// Deterministic smoke check (not a property): an empty batch is legal
+/// and returns no lanes, on both chains.
+#[test]
+fn empty_batch_is_identity() {
+    let robot = RobotModel::jaco2();
+    let tree = Scene::random(SceneConfig::paper(), 0).octree();
+    let mut ck = SoftwareChecker::new(robot, tree);
+    let out = rrt_connect_batch(&mut ck, &[], &cfg());
+    assert!(out.is_empty());
+    assert_eq!(ck.stats(), CdStats::default());
+}

@@ -199,6 +199,32 @@ impl Motion {
         self.from.lerp(&self.to, i as f32 / (n - 1) as f32)
     }
 
+    /// Writes the `i`-th of `n` discrete poses into `out` without
+    /// allocating. The arithmetic is exactly [`Motion::pose`]'s, so the
+    /// result is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n` or `n < 2`.
+    pub fn pose_into(&self, i: usize, n: usize, out: &mut JointConfig) {
+        assert!(n >= 2, "a motion needs at least 2 poses");
+        assert!(i < n, "pose index {i} out of range for {n} poses");
+        out.0.clear();
+        if i == n - 1 {
+            // Exact endpoint (float lerp at t=1 can be off by an ulp).
+            out.0.extend_from_slice(&self.to.0);
+            return;
+        }
+        let t = i as f32 / (n - 1) as f32;
+        out.0.extend(
+            self.from
+                .0
+                .iter()
+                .zip(&self.to.0)
+                .map(|(a, b)| a + (b - a) * t),
+        );
+    }
+
     /// All discrete poses for the given joint step.
     pub fn discretize(&self, step: f32) -> Vec<JointConfig> {
         let n = self.pose_count(step);

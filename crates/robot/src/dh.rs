@@ -90,6 +90,24 @@ pub enum TrigMode {
 ///
 /// Panics if `thetas.len() != params.len()`.
 pub fn chain_transforms(params: &[DhParam], thetas: &[f32], mode: TrigMode) -> Vec<Transform> {
+    let mut out = Vec::with_capacity(params.len());
+    chain_transforms_into(params, thetas, mode, &mut out);
+    out
+}
+
+/// [`chain_transforms`] appending into a caller-owned buffer — collision
+/// checkers run FK once per pose query, and reusing the buffer keeps the
+/// hot path free of per-pose allocations.
+///
+/// # Panics
+///
+/// Panics if `params.len() != thetas.len()`.
+pub fn chain_transforms_into(
+    params: &[DhParam],
+    thetas: &[f32],
+    mode: TrigMode,
+    out: &mut Vec<Transform>,
+) {
     assert_eq!(
         params.len(),
         thetas.len(),
@@ -97,7 +115,7 @@ pub fn chain_transforms(params: &[DhParam], thetas: &[f32], mode: TrigMode) -> V
         params.len(),
         thetas.len()
     );
-    let mut out = Vec::with_capacity(params.len());
+    out.reserve(params.len());
     let mut acc = Transform::identity();
     for (p, &th) in params.iter().zip(thetas) {
         let local = match mode {
@@ -107,7 +125,6 @@ pub fn chain_transforms(params: &[DhParam], thetas: &[f32], mode: TrigMode) -> V
         acc = acc.compose(&local);
         out.push(acc);
     }
-    out
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 use mp_geometry::{FxObb, Obb, Transform};
 
 use crate::cspace::JointConfig;
-use crate::dh::{chain_transforms, TrigMode};
+use crate::dh::{chain_transforms_into, TrigMode};
 use crate::model::RobotModel;
 
 /// Cumulative joint-frame transforms for a configuration. Index 0 is the
@@ -40,7 +40,7 @@ pub fn joint_frames_into(
     assert_eq!(cfg.dof(), model.dof(), "configuration DOF mismatch");
     frames.clear();
     frames.push(Transform::identity());
-    frames.extend(chain_transforms(model.dh_params(), cfg.as_slice(), mode));
+    chain_transforms_into(model.dh_params(), cfg.as_slice(), mode, frames);
 }
 
 /// The robot's occupied space for a pose: one world-frame OBB per link.

@@ -11,9 +11,10 @@
 
 use mp_collision::SoftwareChecker;
 use mp_octree::{Octree, Scene};
+use mp_planner::batch::{plan_at_tier_batch, BatchQuery};
 use mp_planner::queries::generate_queries;
 use mp_planner::sampler::OracleSampler;
-use mp_planner::{plan_at_tier_with_path, PlanCertifier, QualityTier};
+use mp_planner::{PlanCertifier, QualityTier};
 use mp_robot::RobotModel;
 use mp_telemetry::{self as telemetry, arg1, ArgValue, TelemetrySession};
 use threadpool::ThreadPool;
@@ -112,52 +113,62 @@ impl PlanCatalog {
                 // the catalog are the real software-cascade costs of the
                 // produced paths.
                 let mut certifier = PlanCertifier::new(robot.clone(), scene.obstacles(), 4);
-                Ok(queries
-                    .iter()
-                    .enumerate()
-                    .map(|(qi, q)| {
-                        let query_span = telemetry::span_args(
-                            "catalog",
-                            "query",
-                            arg1("q", ArgValue::U64(qi as u64)),
-                        );
-                        let mut row = [CatalogEntry {
-                            solved: false,
-                            modeled_us: 0.0,
-                            cd_queries: 0,
-                            nn_calls: 0,
-                            certify_queries: 0,
-                            certify_us: 0.0,
-                        }; QualityTier::COUNT];
-                        for tier in QualityTier::LADDER {
-                            let tseed = seed
+                // Tier-major batched build: all of the scene's queries are
+                // planned at one tier through one shared checker (the
+                // cross-query batch engine), so the octree clone and the
+                // checker's traversal state are paid once per (scene,
+                // tier) instead of once per (query, tier). Per-entry
+                // outcomes are bit-identical to the old query-major loop —
+                // seeds depend only on the (scene, query, tier)
+                // coordinates, and the batch engine matches the sequential
+                // planners lane-for-lane.
+                let mut rows = vec![
+                    [CatalogEntry {
+                        solved: false,
+                        modeled_us: 0.0,
+                        cd_queries: 0,
+                        nn_calls: 0,
+                        certify_queries: 0,
+                        certify_us: 0.0,
+                    }; QualityTier::COUNT];
+                    queries.len()
+                ];
+                for tier in QualityTier::LADDER {
+                    let tier_span = telemetry::span_args(
+                        "catalog",
+                        "tier_batch",
+                        arg1("tier", ArgValue::Str(tier.label())),
+                    );
+                    let lanes: Vec<BatchQuery> = queries
+                        .iter()
+                        .enumerate()
+                        .map(|(qi, q)| BatchQuery {
+                            start: q.start.clone(),
+                            goal: q.goal.clone(),
+                            seed: seed
                                 .wrapping_mul(0x85EB_CA6B)
-                                .wrapping_add((si * 10_000 + qi * 10 + tier.index()) as u64);
-                            let mut checker =
-                                SoftwareChecker::new(robot.clone(), depths[tier.index()].clone());
-                            let mut sampler = OracleSampler::new(robot.clone(), tseed);
-                            let (out, path) = plan_at_tier_with_path(
-                                &mut checker,
-                                &mut sampler,
-                                &q.start,
-                                &q.goal,
-                                tier,
-                                tseed,
-                            );
-                            let cert = path.filter(|_| out.solved).map(|p| certifier.certify(&p));
-                            row[tier.index()] = CatalogEntry {
-                                solved: out.solved,
-                                modeled_us: out.modeled_us,
-                                cd_queries: out.cd_queries,
-                                nn_calls: out.nn_calls,
-                                certify_queries: cert.map_or(0, |c| c.cd_queries),
-                                certify_us: cert.map_or(0.0, |c| c.modeled_us),
-                            };
-                        }
-                        drop(query_span);
-                        row
-                    })
-                    .collect())
+                                .wrapping_add((si * 10_000 + qi * 10 + tier.index()) as u64),
+                        })
+                        .collect();
+                    let mut checker =
+                        SoftwareChecker::new(robot.clone(), depths[tier.index()].clone());
+                    let planned = plan_at_tier_batch(&mut checker, &lanes, tier, |i| {
+                        OracleSampler::new(robot.clone(), lanes[i].seed)
+                    });
+                    for (qi, (out, path)) in planned.into_iter().enumerate() {
+                        let cert = path.filter(|_| out.solved).map(|p| certifier.certify(&p));
+                        rows[qi][tier.index()] = CatalogEntry {
+                            solved: out.solved,
+                            modeled_us: out.modeled_us,
+                            cd_queries: out.cd_queries,
+                            nn_calls: out.nn_calls,
+                            certify_queries: cert.map_or(0, |c| c.cd_queries),
+                            certify_us: cert.map_or(0.0, |c| c.modeled_us),
+                        };
+                    }
+                    drop(tier_span);
+                }
+                Ok(rows)
             });
         let mut entries = Vec::new();
         for scene_rows in per_scene {

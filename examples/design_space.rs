@@ -12,7 +12,8 @@ use mpaccel::accel::mpaccel::{MpAccelSystem, SystemConfig};
 use mpaccel::accel::sas::SasConfig;
 use mpaccel::collision::SoftwareChecker;
 use mpaccel::octree::{Scene, SceneConfig};
-use mpaccel::planner::mpnet::{plan, MpnetConfig};
+use mpaccel::planner::batch::mpnet_stream;
+use mpaccel::planner::mpnet::MpnetConfig;
 use mpaccel::planner::queries::generate_queries;
 use mpaccel::planner::sampler::OracleSampler;
 use mpaccel::robot::RobotModel;
@@ -23,25 +24,30 @@ fn main() {
     let scene = Scene::random(SceneConfig::paper(), 5);
     let octree = scene.octree();
 
-    // One representative planning trace to replay on every configuration.
-    let query = generate_queries(&robot, &scene, 1, 3).expect("query generation")[0].clone();
+    // A representative multi-query workload, planned through the batch
+    // engine (one shared checker for the scene) — the traces of every
+    // solved query are replayed on each candidate configuration.
+    let queries = generate_queries(&robot, &scene, 3, 3).expect("query generation");
     let mut checker = SoftwareChecker::new(robot.clone(), octree.clone());
-    let mut sampler = OracleSampler::new(robot.clone(), 9);
-    let out = plan(
-        &mut checker,
-        &mut sampler,
-        &query.start,
-        &query.goal,
-        &MpnetConfig::default(),
-    );
-    let Some(_) = &out.path else {
-        println!("workload query unsolved; rerun with another seed");
+    let lanes: Vec<_> = queries
+        .iter()
+        .map(|q| (q.start.clone(), q.goal.clone(), MpnetConfig::default()))
+        .collect();
+    let outs: Vec<_> = mpnet_stream(&mut checker, &lanes, |_| {
+        OracleSampler::new(robot.clone(), 9)
+    })
+    .into_iter()
+    .filter(|r| r.outcome.solved())
+    .map(|r| r.outcome)
+    .collect();
+    if outs.is_empty() {
+        println!("no workload query solved; rerun with another seed");
         return;
-    };
+    }
     println!(
-        "workload: one Baxter query, {} CD batches, <= {} poses\n",
-        out.trace.cd_batches(),
-        out.trace.max_cd_poses()
+        "workload: {} solved Baxter queries, {} CD batches total\n",
+        outs.len(),
+        outs.iter().map(|o| o.trace.cd_batches()).sum::<usize>()
     );
 
     println!("config     scheduler  latency(ms)  area(mm2)  power(W)  q/(s*W*mm2)");
@@ -54,13 +60,19 @@ fn main() {
                     octree.clone(),
                     SystemConfig::with_accel(accel),
                 );
-                let report = sys.run_trace(&out.trace);
+                let (mut total_ms, mut _cd) = (0.0, 0u64);
+                for o in &outs {
+                    let r = sys.run_trace(&o.trace);
+                    total_ms += r.total_ms;
+                    _cd += r.cd_queries;
+                }
+                let report_total_ms = total_ms;
                 let ap = accel.area_power();
-                let perf = accel.perf_metric(1, report.total_ms / 1e3);
+                let perf = accel.perf_metric(outs.len() as u64, report_total_ms / 1e3);
                 println!(
                     "{:<9}  MCSP       {:>11.3}  {:>9.2}  {:>8.2}  {:>11.1}",
                     accel.label(),
-                    report.total_ms,
+                    report_total_ms,
                     ap.area_mm2,
                     ap.power_w,
                     perf
@@ -80,10 +92,12 @@ fn main() {
     ] {
         let sys = MpAccelSystem::new(robot.clone(), octree.clone(), SystemConfig::paper_default())
             .with_scheduler(sas);
-        let report = sys.run_trace(&out.trace);
-        println!(
-            "  {:<11} {:>8.3} ms   {:>7} CD queries",
-            name, report.total_ms, report.cd_queries
-        );
+        let (mut ms, mut cd) = (0.0, 0u64);
+        for o in &outs {
+            let r = sys.run_trace(&o.trace);
+            ms += r.total_ms;
+            cd += r.cd_queries;
+        }
+        println!("  {:<11} {:>8.3} ms   {:>7} CD queries", name, ms, cd);
     }
 }

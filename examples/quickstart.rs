@@ -1,14 +1,16 @@
-//! Quickstart: plan a motion for a 7-DOF Baxter arm and replay it on the
-//! MPAccel accelerator model.
+//! Quickstart: plan a block of motions for a 7-DOF Baxter arm through the
+//! cross-query batch engine, then replay one plan on the MPAccel
+//! accelerator model.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use mpaccel::accel::mpaccel::{MpAccelSystem, SystemConfig};
-use mpaccel::collision::{CollisionChecker, SoftwareChecker};
+use mpaccel::collision::SoftwareChecker;
 use mpaccel::octree::{Scene, SceneConfig};
-use mpaccel::planner::mpnet::{plan, MpnetConfig};
+use mpaccel::planner::batch::mpnet_stream;
+use mpaccel::planner::mpnet::MpnetConfig;
 use mpaccel::planner::queries::generate_queries;
 use mpaccel::planner::sampler::OracleSampler;
 use mpaccel::robot::RobotModel;
@@ -24,44 +26,54 @@ fn main() {
         octree.storage_bytes()
     );
 
-    // 2. The robot and a planning query.
+    // 2. The robot and a block of planning queries for this scene.
     let robot = RobotModel::baxter();
-    let query = generate_queries(&robot, &scene, 1, 7).expect("query generation")[0].clone();
+    let queries = generate_queries(&robot, &scene, 4, 7).expect("query generation");
     println!(
-        "robot: {} ({} DOF, {} links); query distance {:.2} rad",
+        "robot: {} ({} DOF, {} links); {} queries in this scene",
         robot.name(),
         robot.dof(),
         robot.link_count(),
-        query.start.distance(&query.goal)
+        queries.len()
     );
 
-    // 3. Plan with the MPNet-style neural planner (software oracle CD).
-    // The planner is stochastic; retry a few seeds like a deployment would.
+    // 3. Plan the whole block with the MPNet-style neural planner through
+    // one shared checker — the batch engine amortizes the octree and FK
+    // state across queries, and each lane's outcome is bit-identical to
+    // planning it alone with a fresh checker.
     let mut checker = SoftwareChecker::new(robot.clone(), octree.clone());
-    let out = (0..10)
-        .map(|seed| {
-            let mut sampler = OracleSampler::new(robot.clone(), seed);
+    let lanes: Vec<_> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
             let cfg = MpnetConfig {
-                seed,
+                seed: i as u64,
                 ..MpnetConfig::default()
             };
-            plan(&mut checker, &mut sampler, &query.start, &query.goal, &cfg)
+            (q.start.clone(), q.goal.clone(), cfg)
         })
-        .find(|out| out.solved());
-    let Some(out) = out else {
-        println!("planner failed on every seed — the query may be infeasible");
+        .collect();
+    let results = mpnet_stream(&mut checker, &lanes, |i| {
+        OracleSampler::new(robot.clone(), i as u64)
+    });
+    for (i, r) in results.iter().enumerate() {
+        match &r.outcome.path {
+            Some(path) => println!(
+                "  query {i}: {} waypoints, {:.2} rad, {} CD pose queries, {} NN inferences",
+                path.len(),
+                r.outcome.path_length().unwrap(),
+                r.stats.pose_queries,
+                r.outcome.stats.nn_calls
+            ),
+            None => println!("  query {i}: unsolved (may be infeasible at this seed)"),
+        }
+    }
+
+    // 4. Replay one recorded trace on the MPAccel hardware model.
+    let Some(out) = results.iter().map(|r| &r.outcome).find(|o| o.solved()) else {
+        println!("no query solved — rerun with another scene seed");
         return;
     };
-    let path = out.path.as_ref().expect("solved");
-    println!(
-        "plan: {} waypoints, C-space length {:.2} rad, {} CD pose queries, {} NN inferences",
-        path.len(),
-        out.path_length().unwrap(),
-        out.stats.cd_queries,
-        out.stats.nn_calls
-    );
-
-    // 4. Replay the recorded trace on the MPAccel hardware model.
     let sys = MpAccelSystem::new(robot, octree, SystemConfig::paper_default());
     let report = sys.run_trace(&out.trace);
     println!(
@@ -84,5 +96,4 @@ fn main() {
             "MISSED"
         }
     );
-    let _ = checker.stats();
 }

@@ -10,7 +10,8 @@
 use mpaccel::collision::self_collision::SelfCollisionMatrix;
 use mpaccel::collision::{check_path, SoftwareChecker};
 use mpaccel::octree::{Scene, SceneConfig};
-use mpaccel::planner::mpnet::{plan, MpnetConfig};
+use mpaccel::planner::batch::mpnet_stream;
+use mpaccel::planner::mpnet::MpnetConfig;
 use mpaccel::planner::queries::generate_queries;
 use mpaccel::planner::sampler::OracleSampler;
 use mpaccel::robot::{Motion, RobotModel};
@@ -21,17 +22,26 @@ fn main() {
     let octree = scene.octree();
     let query = generate_queries(&robot, &scene, 1, 5).expect("query generation")[0].clone();
 
-    // Plan (retry seeds; the planner is stochastic).
-    let out = (0..10).find_map(|seed| {
-        let mut checker = SoftwareChecker::new(robot.clone(), octree.clone());
-        let mut sampler = OracleSampler::new(robot.clone(), seed);
-        let cfg = MpnetConfig {
-            seed,
-            ..MpnetConfig::default()
-        };
-        let out = plan(&mut checker, &mut sampler, &query.start, &query.goal, &cfg);
-        out.solved().then_some(out)
-    });
+    // Plan: the planner is stochastic, so stream several seed attempts as
+    // lanes through one shared checker and keep the first that solves.
+    // Each lane is bit-identical to a fresh-checker run on its seed, so
+    // this picks exactly the plan a sequential retry loop would.
+    let mut checker = SoftwareChecker::new(robot.clone(), octree.clone());
+    let attempts: Vec<_> = (0..6)
+        .map(|seed| {
+            let cfg = MpnetConfig {
+                seed,
+                ..MpnetConfig::default()
+            };
+            (query.start.clone(), query.goal.clone(), cfg)
+        })
+        .collect();
+    let out = mpnet_stream(&mut checker, &attempts, |i| {
+        OracleSampler::new(robot.clone(), i as u64)
+    })
+    .into_iter()
+    .map(|r| r.outcome)
+    .find(|o| o.solved());
     let Some(out) = out else {
         println!("no plan found for this query; rerun with another scene seed");
         return;

@@ -7,12 +7,13 @@
 //! ```
 
 use mpaccel::accel::mpaccel::{MpAccelSystem, SystemConfig};
-use mpaccel::collision::SoftwareChecker;
+use mpaccel::collision::{RakeValidator, SoftwareChecker};
 use mpaccel::geometry::{Aabb, Vec3};
 use mpaccel::octree::Scene;
-use mpaccel::planner::mpnet::{plan, MpnetConfig};
+use mpaccel::planner::batch::mpnet_stream;
+use mpaccel::planner::mpnet::MpnetConfig;
 use mpaccel::planner::sampler::OracleSampler;
-use mpaccel::robot::{JointConfig, RobotModel};
+use mpaccel::robot::{JointConfig, Motion, RobotModel};
 
 /// A table surface plus items standing on it, hand-placed in normalized
 /// workspace coordinates (the environment cube is `[-1, 1]³`).
@@ -55,19 +56,31 @@ fn main() {
         vec![-0.8, 1.6, -1.2, 0.2, -0.3, 0.5],
     ];
 
+    // One shared checker serves the whole task: each segment streams
+    // through it via the batch engine (outcomes are bit-identical to a
+    // fresh checker per segment, but the octree and FK state stay hot),
+    // and the final certification sweep reuses it too.
     let sys = MpAccelSystem::new(robot.clone(), octree.clone(), SystemConfig::paper_default());
+    let mut checker = SoftwareChecker::new(robot.clone(), octree.clone());
     let mut current = robot.home();
     let mut total_ms = 0.0;
     let mut failures = 0;
+    let mut trajectory: Vec<JointConfig> = vec![current.clone()];
     for (i, g) in goals.iter().enumerate() {
         let goal = robot.clamp_config(&JointConfig::new(g.clone()));
-        let mut checker = SoftwareChecker::new(robot.clone(), octree.clone());
-        let mut sampler = OracleSampler::new(robot.clone(), 100 + i as u64);
         let cfg = MpnetConfig {
             seed: i as u64,
             ..MpnetConfig::default()
         };
-        let out = plan(&mut checker, &mut sampler, &current, &goal, &cfg);
+        // Segment i+1 starts where segment i ended, so segments stream
+        // one lane at a time through the shared checker.
+        let lane = [(current.clone(), goal.clone(), cfg)];
+        let out = mpnet_stream(&mut checker, &lane, |_| {
+            OracleSampler::new(robot.clone(), 100 + i as u64)
+        })
+        .pop()
+        .expect("one lane in, one lane out")
+        .outcome;
         match &out.path {
             Some(path) => {
                 let report = sys.run_trace(&out.trace);
@@ -84,6 +97,7 @@ fn main() {
                         "[over budget]"
                     }
                 );
+                trajectory.extend(path.iter().skip(1).cloned());
                 current = goal;
             }
             None => {
@@ -98,4 +112,19 @@ fn main() {
         goals.len(),
         total_ms
     );
+
+    // Certify the stitched trajectory end-to-end as one rake stream
+    // through the still-hot checker before handing it to the controller.
+    if trajectory.len() > 1 {
+        let mut rake = RakeValidator::new();
+        let clear = trajectory.windows(2).all(|w| {
+            let edge = Motion::new(w[0].clone(), w[1].clone());
+            !rake.check_motion(&mut checker, &edge, 0.04).colliding
+        });
+        println!(
+            "final certification over {} waypoints: {}",
+            trajectory.len(),
+            if clear { "PASS" } else { "FAIL" }
+        );
+    }
 }
