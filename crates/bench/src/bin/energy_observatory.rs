@@ -1,0 +1,37 @@
+//! Regenerates the energy-observatory evaluation artifact.
+//! Usage: `cargo run -p mp-bench --release --bin energy_observatory
+//! [-- --out FILE --csv FILE]`
+//! (set `MPACCEL_BENCH_SCALE=full` for paper-scale workloads).
+
+fn main() {
+    let scale = mp_bench::Scale::from_env();
+    let report = mp_bench::experiments::energy_observatory::run(scale);
+    println!("{report}");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let write = |path: &str, text: String| {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                i += 1;
+                write(&args[i], report.to_string());
+            }
+            "--csv" if i + 1 < args.len() => {
+                i += 1;
+                write(&args[i], report.to_csv());
+            }
+            other => {
+                eprintln!(
+                    "unknown or incomplete flag `{other}` (supported: --out FILE, --csv FILE)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+}

@@ -1,5 +1,8 @@
 //! Diffs two `BENCH.json` files (schema `mpaccel-bench/1`): per-experiment
-//! wall-time deltas plus the headline CD-throughput change.
+//! wall-time deltas plus the headline CD-throughput change and the modeled
+//! energy trajectory (pJ/CD-check and uJ/plan — absent in baselines
+//! written before those keys existed, in which case the energy rows are
+//! skipped).
 //!
 //! Usage: `perf_compare [BASELINE [FRESH]]`, defaulting to
 //! `BENCH.baseline.json` vs `BENCH.json`. Intended as a non-gating CI
@@ -20,6 +23,9 @@ struct Summary {
     total_wall_s: f64,
     cd_checks: u64,
     cd_checks_per_sec: f64,
+    /// Modeled energy keys (`None` for baselines predating them).
+    pj_per_cd_check: Option<f64>,
+    uj_per_plan_full: Option<f64>,
     experiments: Vec<(String, f64)>,
 }
 
@@ -64,6 +70,8 @@ fn parse(json: &str, origin: &str) -> Result<Summary, String> {
         total_wall_s: num("total_wall_s")?,
         cd_checks: num("cd_checks")? as u64,
         cd_checks_per_sec: num("cd_checks_per_sec")?,
+        pj_per_cd_check: num("pj_per_cd_check").ok(),
+        uj_per_plan_full: num("uj_per_plan_full").ok(),
         experiments,
     })
 }
@@ -125,6 +133,23 @@ fn main() -> ExitCode {
         pct(base.cd_checks_per_sec, fresh.cd_checks_per_sec),
         fresh.cd_checks_per_sec / base.cd_checks_per_sec.max(1e-12),
     );
+    // Energy trajectory (modeled, so deltas here are real regressions or
+    // wins in work done, never host noise). Skipped when either side
+    // predates the energy keys.
+    match (base.pj_per_cd_check, fresh.pj_per_cd_check) {
+        (Some(b), Some(f)) => println!(
+            "  pJ/CD-check     {b:>10.3}    -> {f:>10.3}  ({:+.1}%)",
+            pct(b, f)
+        ),
+        _ => println!("  pJ/CD-check     (absent on one side; skipped)"),
+    }
+    match (base.uj_per_plan_full, fresh.uj_per_plan_full) {
+        (Some(b), Some(f)) => println!(
+            "  uJ/plan (full)  {b:>10.3}    -> {f:>10.3}  ({:+.1}%)",
+            pct(b, f)
+        ),
+        _ => println!("  uJ/plan (full)  (absent on one side; skipped)"),
+    }
     println!(
         "  {:<12} {:>12} {:>12} {:>9}",
         "experiment", "base [ms]", "fresh [ms]", "delta"
@@ -170,11 +195,26 @@ fn main() -> ExitCode {
             ),
             _ => String::new(),
         };
+        let energy_row = |label: &str, b: Option<f64>, f: Option<f64>| match (b, f) {
+            (Some(b), Some(f)) => {
+                format!("| {label} | {b:.3} | {f:.3} | {:+.1}% |\n", pct(b, f))
+            }
+            _ => String::new(),
+        };
+        let energy = format!(
+            "{}{}",
+            energy_row("pJ/CD-check", base.pj_per_cd_check, fresh.pj_per_cd_check),
+            energy_row(
+                "uJ/plan (full tier)",
+                base.uj_per_plan_full,
+                fresh.uj_per_plan_full
+            ),
+        );
         let md = format!(
             "### Perf vs committed baseline ({} scale, {} thread(s))\n\n\
              | metric | baseline | fresh | delta |\n|---|---|---|---|\n\
              | cd_checks_per_sec | {:.0} | {:.0} | {:+.1}% ({:.2}x) |\n\
-             | total wall | {:.3} s | {:.3} s | {:+.1}% |\n{planners}",
+             | total wall | {:.3} s | {:.3} s | {:+.1}% |\n{energy}{planners}",
             fresh.scale,
             fresh.threads,
             base.cd_checks_per_sec,
@@ -209,6 +249,9 @@ mod tests {
   "workload": {"build_wall_s": 0.01, "scenes": 4, "traces": 12, "scenes_per_sec": 400.0},
   "cd_checks": 75324,
   "cd_checks_per_sec": 150648.0,
+  "cd_energy_pj": 602592.0,
+  "pj_per_cd_check": 8.001,
+  "uj_per_plan_full": 1.234,
   "experiments": [
     {"name": "fig01b", "wall_s": 0.007803},
     {"name": "planners", "wall_s": 0.104}
@@ -224,9 +267,28 @@ mod tests {
         assert_eq!(s.cd_checks, 75324);
         assert!((s.total_wall_s - 0.5).abs() < 1e-9);
         assert!((s.cd_checks_per_sec - 150648.0).abs() < 1e-6);
+        assert!((s.pj_per_cd_check.unwrap() - 8.001).abs() < 1e-9);
+        assert!((s.uj_per_plan_full.unwrap() - 1.234).abs() < 1e-9);
         assert_eq!(s.experiments.len(), 2);
         assert_eq!(s.experiments[0].0, "fig01b");
         assert!((s.experiments[1].1 - 0.104).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerates_baselines_without_energy_keys() {
+        let legacy: String = SAMPLE
+            .lines()
+            .filter(|l| {
+                !l.contains("cd_energy_pj")
+                    && !l.contains("pj_per_cd_check")
+                    && !l.contains("uj_per_plan_full")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let s = parse(&legacy, "legacy").expect("parse");
+        assert!(s.pj_per_cd_check.is_none());
+        assert!(s.uj_per_plan_full.is_none());
+        assert_eq!(s.cd_checks, 75324);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub fn experiments() -> Vec<Experiment> {
         exp!(fleet),
         exp!(fleet_scaling),
         exp!(integrity),
+        exp!(energy_observatory),
     ]
 }
 
@@ -115,6 +116,13 @@ pub struct RunSummary {
     pub total_wall: Duration,
     /// Pose-level CD checks executed across the whole run.
     pub cd_checks: u64,
+    /// Modeled dynamic energy (pJ) of those checks, priced by
+    /// `mp_sim::energy` from the process-wide collision op counters.
+    pub cd_energy_pj: f64,
+    /// Mean CD-datapath microjoules per full-tier planning attempt (the
+    /// soak catalog's J/plan baseline — the figure `perf_compare` gates
+    /// energy regressions against).
+    pub uj_per_plan_full: f64,
     /// Per-experiment results in canonical order.
     pub results: Vec<ExperimentResult>,
 }
@@ -130,6 +138,11 @@ impl RunSummary {
         self.cd_checks as f64 / self.total_wall.as_secs_f64().max(1e-9)
     }
 
+    /// Mean modeled dynamic energy per pose-level CD check, picojoules.
+    pub fn pj_per_cd_check(&self) -> f64 {
+        self.cd_energy_pj / self.cd_checks.max(1) as f64
+    }
+
     /// Serializes the run metrics as `BENCH.json` (hand-rolled: the
     /// workspace is hermetic, no serde). Schema:
     ///
@@ -143,6 +156,9 @@ impl RunSummary {
     ///                "scenes_per_sec": 10.0},
     ///   "cd_checks": 123456,
     ///   "cd_checks_per_sec": 100371.0,
+    ///   "cd_energy_pj": 987654.3,
+    ///   "pj_per_cd_check": 8.001,
+    ///   "uj_per_plan_full": 1.234,
     ///   "experiments": [{"name": "fig01b", "wall_s": 0.01}, ...]
     /// }
     /// ```
@@ -173,6 +189,15 @@ impl RunSummary {
         s.push_str(&format!(
             "  \"cd_checks_per_sec\": {:.1},\n",
             self.cd_checks_per_sec()
+        ));
+        s.push_str(&format!("  \"cd_energy_pj\": {:.1},\n", self.cd_energy_pj));
+        s.push_str(&format!(
+            "  \"pj_per_cd_check\": {:.3},\n",
+            self.pj_per_cd_check()
+        ));
+        s.push_str(&format!(
+            "  \"uj_per_plan_full\": {:.3},\n",
+            self.uj_per_plan_full
         ));
         s.push_str("  \"experiments\": [\n");
         for (i, r) in self.results.iter().enumerate() {
@@ -206,6 +231,12 @@ impl RunSummary {
             self.cd_checks,
             self.cd_checks_per_sec(),
         ));
+        r.note(format!(
+            "modeled CD energy {:.3} uJ ({:.2} pJ/check, {:.3} uJ/plan at full tier)",
+            self.cd_energy_pj / 1e6,
+            self.pj_per_cd_check(),
+            self.uj_per_plan_full,
+        ));
         r.columns(&["experiment", "wall [ms]"]);
         for res in &self.results {
             r.row(&[
@@ -226,6 +257,7 @@ impl RunSummary {
 pub fn run_selected(list: &[Experiment], scale: Scale, pool: &ThreadPool) -> RunSummary {
     let t0 = Instant::now();
     let checks0 = mp_collision::metrics::pose_checks_total();
+    let energy0 = mp_collision::metrics::energy_pj_total();
     let warm = Instant::now();
     let workload = BenchWorkload::cached(RobotModel::jaco2(), scale);
     let workload_wall = warm.elapsed();
@@ -250,6 +282,9 @@ pub fn run_selected(list: &[Experiment], scale: Scale, pool: &ThreadPool) -> Run
         traces,
         total_wall: t0.elapsed(),
         cd_checks: mp_collision::metrics::pose_checks_total() - checks0,
+        cd_energy_pj: mp_collision::metrics::energy_pj_total() - energy0,
+        uj_per_plan_full: e::soak::catalog(scale).mean_energy_pj(mp_planner::QualityTier::Full)
+            / 1e6,
         results,
     }
 }
@@ -286,11 +321,11 @@ mod tests {
     #[test]
     fn suite_is_complete_and_uniquely_named() {
         let all = experiments();
-        assert_eq!(all.len(), 21);
+        assert_eq!(all.len(), 22);
         let mut names: Vec<&str> = all.iter().map(|x| x.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21, "duplicate experiment names");
+        assert_eq!(names.len(), 22, "duplicate experiment names");
     }
 
     #[test]
@@ -311,10 +346,19 @@ mod tests {
         assert_eq!(summary.results[1].name, "table2");
         assert!(summary.total_wall >= summary.results.iter().map(|r| r.wall).max().unwrap());
         assert!(summary.cd_checks > 0, "fig17 replays CD batches");
+        assert!(summary.cd_energy_pj > 0.0, "CD work carries energy");
+        assert!(summary.pj_per_cd_check() > 0.0);
+        assert!(
+            summary.uj_per_plan_full > 0.0,
+            "soak catalog J/plan baseline"
+        );
         let json = summary.to_json();
         assert!(json.contains("\"schema\": \"mpaccel-bench/1\""));
         assert!(json.contains("\"name\": \"fig17\""));
         assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("\"cd_energy_pj\""));
+        assert!(json.contains("\"pj_per_cd_check\""));
+        assert!(json.contains("\"uj_per_plan_full\""));
         // The timing table lists both experiments.
         let table = summary.timing_report().to_string();
         assert!(table.contains("fig17") && table.contains("table2"));

@@ -6,7 +6,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use mp_collision::SoftwareChecker;
 use mp_robot::JointConfig;
-use mp_sim::CecduConfig;
+use mp_sim::{CecduConfig, OpCounter};
 use mpaccel_core::cecdu::CecduSim;
 use mpaccel_core::sas::{run_sas, CduModel, CduResponse, CecduCdu, IdealCdu, SasConfig};
 
@@ -30,6 +30,9 @@ pub struct SasAggregate {
     pub queries: u64,
     /// Total multiplications (fine-grained energy proxy).
     pub mults: u64,
+    /// Full per-class operation ledger across all batches (superset of
+    /// `mults`; priced by [`SasAggregate::energy_pj`]).
+    pub ops: OpCounter,
 }
 
 impl SasAggregate {
@@ -41,6 +44,16 @@ impl SasAggregate {
     /// Energy (CD-test count) normalized to a baseline.
     pub fn energy_vs(&self, baseline: &SasAggregate) -> f64 {
         self.queries as f64 / baseline.queries.max(1) as f64
+    }
+
+    /// Absolute dynamic energy (pJ) of the replay, priced per op class.
+    pub fn energy_pj(&self) -> f64 {
+        mp_sim::energy::dynamic_energy_pj(&self.ops)
+    }
+
+    /// Mean dynamic energy (pJ) per dispatched CD query.
+    pub fn pj_per_query(&self) -> f64 {
+        self.energy_pj() / self.queries.max(1) as f64
     }
 }
 
@@ -254,6 +267,7 @@ fn replay_inner(
         agg.cycles += r.cycles;
         agg.queries += r.queries;
         agg.mults += r.ops.mults;
+        agg.ops += r.ops;
     }
     agg
 }

@@ -8,6 +8,7 @@ pub mod ablation;
 pub mod batch_planning;
 pub mod codacc;
 pub mod common;
+pub mod energy_observatory;
 pub mod faults;
 pub mod fig01b;
 pub mod fig07;

@@ -9,7 +9,7 @@
 //! campaign's catalog cache (soak).
 
 use mp_bench::engine::{run_selected, select};
-use mp_bench::experiments::{fleet, integrity, soak};
+use mp_bench::experiments::{energy_observatory, fleet, integrity, soak};
 use mp_bench::Scale;
 use threadpool::ThreadPool;
 
@@ -88,6 +88,21 @@ fn integrity_soak_is_byte_identical_at_one_and_eight_threads() {
 }
 
 #[test]
+fn energy_observatory_is_byte_identical_at_one_and_eight_threads() {
+    // The energy contract: pJ/CD-check, uJ/plan-by-tier, and the
+    // accelerator-vs-baseline joule comparison are all integer-counter or
+    // seed-derived, so the rendered table must not move with the
+    // catalog-build pool width.
+    let one = energy_observatory::run_with_pool(Scale::Quick, &ThreadPool::new(1)).to_string();
+    let eight = energy_observatory::run_with_pool(Scale::Quick, &ThreadPool::new(8)).to_string();
+    assert!(one.contains("cd-check") && one.contains("uJ/plan"));
+    assert_eq!(
+        one, eight,
+        "energy observatory differs between 1 and 8 threads"
+    );
+}
+
+#[test]
 fn chrome_trace_is_byte_identical_at_one_and_eight_threads() {
     // The telemetry contract: the exported Perfetto trace itself must be
     // byte-identical whatever the catalog-build pool width. Labelled
@@ -100,5 +115,11 @@ fn chrome_trace_is_byte_identical_at_one_and_eight_threads() {
     let one = json(1);
     let eight = json(8);
     assert!(!one.is_empty());
+    // The power-rail counter tracks (pJ/us = uW per accelerator instance,
+    // emitted at every completion) ride the same determinism guarantee.
+    assert!(
+        one.contains("power_uw"),
+        "power-rail counter track missing from the trace"
+    );
     assert_eq!(one, eight, "trace JSON differs between 1 and 8 threads");
 }

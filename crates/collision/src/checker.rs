@@ -33,6 +33,49 @@ impl CdStats {
         self.mults += other.mults;
     }
 
+    /// Field-wise difference against an earlier snapshot of the same
+    /// monotone counters — the delta-attribution primitive behind
+    /// [`attributed`], the per-lane stats of `mp_planner::batch`, and the
+    /// energy ledger scopes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `before` is not an earlier snapshot
+    /// (counters only grow).
+    pub fn delta_since(&self, before: &CdStats) -> CdStats {
+        debug_assert!(
+            self.pose_queries >= before.pose_queries && self.box_tests >= before.box_tests,
+            "delta_since needs an earlier snapshot of the same counters"
+        );
+        CdStats {
+            pose_queries: self.pose_queries - before.pose_queries,
+            link_tests: self.link_tests - before.link_tests,
+            box_tests: self.box_tests - before.box_tests,
+            nodes_visited: self.nodes_visited - before.nodes_visited,
+            mults: self.mults - before.mults,
+        }
+    }
+
+    /// Converts the checker counters into the energy model's op classes:
+    /// each visited octree node is one small-SRAM node-store read, each
+    /// primitive test carries its control overhead, and the SAT/sphere
+    /// mults map directly. (The cascade's adds are not counted separately
+    /// by `CdStats`; they are a ~5 % energy term next to the mults.)
+    pub fn to_ops(&self) -> mp_sim::OpCounter {
+        mp_sim::OpCounter {
+            mults: self.mults,
+            sram_reads: self.nodes_visited,
+            box_tests: self.box_tests,
+            cd_queries: self.pose_queries,
+            ..mp_sim::OpCounter::default()
+        }
+    }
+
+    /// Dynamic energy of this work, in picojoules (see [`CdStats::to_ops`]).
+    pub fn energy_pj(&self) -> f64 {
+        mp_sim::energy::dynamic_energy_pj(&self.to_ops())
+    }
+
     /// Exports the counters into a telemetry registry under
     /// `<prefix>.<field>` names.
     pub fn export_into(&self, prefix: &str, registry: &mp_telemetry::Registry) {
@@ -64,6 +107,36 @@ pub trait CollisionChecker {
 
     /// Clears the work counters.
     fn reset_stats(&mut self);
+}
+
+/// Runs `f` against the checker and returns its result together with the
+/// [`CdStats`] delta the call produced.
+///
+/// This is *the* shared snapshot/delta helper: the batch planner's
+/// per-lane attribution, the per-pose telemetry span args, and the energy
+/// ledger's per-scope billing all attribute work this way instead of each
+/// re-implementing the before/after subtraction.
+///
+/// # Examples
+///
+/// ```
+/// use mp_collision::{attributed, CollisionChecker, SoftwareChecker};
+/// use mp_octree::Octree;
+/// use mp_robot::RobotModel;
+///
+/// let mut checker = SoftwareChecker::new(RobotModel::jaco2(), Octree::build(&[], 3));
+/// let home = checker.robot().home();
+/// let (hit, delta) = attributed(&mut checker, |c| c.check_pose(&home));
+/// assert!(!hit);
+/// assert_eq!(delta.pose_queries, 1);
+/// ```
+pub fn attributed<C: CollisionChecker + ?Sized, T>(
+    checker: &mut C,
+    f: impl FnOnce(&mut C) -> T,
+) -> (T, CdStats) {
+    let before = checker.stats();
+    let out = f(checker);
+    (out, checker.stats().delta_since(&before))
 }
 
 /// The software oracle: exact `f32` kinematics + SAT-based octree queries.
@@ -136,7 +209,7 @@ impl CollisionChecker for SoftwareChecker {
         #[cfg(feature = "telemetry")]
         let tele_span = mp_telemetry::sampled_span("collision", "cd_query");
         #[cfg(feature = "telemetry")]
-        let tele_box_tests_before = self.stats.box_tests;
+        let tele_stats_before = self.stats;
         let mut frames = std::mem::take(&mut self.frame_buf);
         let mut obbs = std::mem::take(&mut self.obb_buf);
         let mut stack = std::mem::take(&mut self.stack_buf);
@@ -188,12 +261,13 @@ impl CollisionChecker for SoftwareChecker {
         self.stats.nodes_visited += nodes_visited;
         self.stats.box_tests += box_tests;
         self.stats.mults += mults;
+        crate::metrics::record_pose_work(nodes_visited, box_tests, mults);
         self.frame_buf = frames;
         self.obb_buf = obbs;
         self.stack_buf = stack;
         #[cfg(feature = "telemetry")]
         {
-            let box_tests = self.stats.box_tests - tele_box_tests_before;
+            let box_tests = self.stats.delta_since(&tele_stats_before).box_tests;
             tele_span.end_with(|| {
                 mp_telemetry::arg2(
                     "colliding",
@@ -303,5 +377,42 @@ mod tests {
         a.absorb(a);
         assert_eq!(a.pose_queries, 2);
         assert_eq!(a.mults, 10);
+    }
+
+    #[test]
+    fn attributed_reports_exactly_the_closure_delta() {
+        let scene = Scene::random(SceneConfig::paper(), 2);
+        let mut c = SoftwareChecker::new(RobotModel::jaco2(), scene.octree());
+        let home = c.robot().home();
+        // Pre-existing work must not leak into the delta.
+        let _ = c.check_pose(&home);
+        let before = c.stats();
+        let (_, delta) = attributed(&mut c, |c| {
+            let _ = c.check_pose(&home);
+            let _ = c.check_pose(&home);
+        });
+        assert_eq!(delta.pose_queries, 2);
+        assert_eq!(c.stats().delta_since(&before), delta);
+        let mut whole = before;
+        whole.absorb(delta);
+        assert_eq!(whole, c.stats());
+    }
+
+    #[test]
+    fn ops_conversion_prices_every_counted_class() {
+        let s = CdStats {
+            pose_queries: 2,
+            link_tests: 9,
+            box_tests: 30,
+            nodes_visited: 12,
+            mults: 100,
+        };
+        let ops = s.to_ops();
+        assert_eq!(ops.cd_queries, 2);
+        assert_eq!(ops.box_tests, 30);
+        assert_eq!(ops.sram_reads, 12);
+        assert_eq!(ops.mults, 100);
+        assert_eq!(s.energy_pj(), mp_sim::energy::dynamic_energy_pj(&ops));
+        assert!(s.energy_pj() > 100.0);
     }
 }

@@ -31,7 +31,7 @@ pub mod metrics;
 pub mod motion;
 pub mod self_collision;
 
-pub use checker::{CdStats, CollisionChecker, SoftwareChecker};
+pub use checker::{attributed, CdStats, CollisionChecker, SoftwareChecker};
 pub use motion::{
     check_motion, check_path, MotionResult, RakeValidator, DEFAULT_CSPACE_STEP, RAKE_WIDTH,
 };

@@ -15,11 +15,25 @@
 use mp_telemetry::Counter;
 
 static CD_POSE_CHECKS: Counter = Counter::new();
+static CD_NODES_VISITED: Counter = Counter::new();
+static CD_BOX_TESTS: Counter = Counter::new();
+static CD_MULTS: Counter = Counter::new();
 
 /// Records `n` pose-level collision checks.
 #[inline]
 pub fn record_pose_checks(n: u64) {
     CD_POSE_CHECKS.add(n);
+}
+
+/// Records the traversal work of one pose query (octree nodes visited,
+/// primitive tests, multiplications) — three relaxed adds per *query*,
+/// not per node, so the inner walk stays register-resident. Feeds the
+/// process-wide energy figure in `BENCH.json` (pJ per CD check).
+#[inline]
+pub fn record_pose_work(nodes_visited: u64, box_tests: u64, mults: u64) {
+    CD_NODES_VISITED.add(nodes_visited);
+    CD_BOX_TESTS.add(box_tests);
+    CD_MULTS.add(mults);
 }
 
 /// Total pose-level collision checks recorded by this process so far.
@@ -29,9 +43,29 @@ pub fn pose_checks_total() -> u64 {
     CD_POSE_CHECKS.get()
 }
 
+/// Process-wide collision work as energy-model op classes (nodes visited
+/// map to small-SRAM node reads, as in `CdStats::to_ops`). Snapshot
+/// before/after a region to attribute its energy.
+pub fn ops_total() -> mp_sim::OpCounter {
+    mp_sim::OpCounter {
+        mults: CD_MULTS.get(),
+        sram_reads: CD_NODES_VISITED.get(),
+        box_tests: CD_BOX_TESTS.get(),
+        cd_queries: CD_POSE_CHECKS.get(),
+        ..mp_sim::OpCounter::default()
+    }
+}
+
+/// Process-wide dynamic collision-detection energy in picojoules.
+pub fn energy_pj_total() -> f64 {
+    mp_sim::energy::dynamic_energy_pj(&ops_total())
+}
+
 /// Exports the process-wide counters into a telemetry registry.
 pub fn export_into(registry: &mp_telemetry::Registry) {
     registry.set_counter("collision.pose_checks_total", pose_checks_total());
+    ops_total().export_into("collision.ops", registry);
+    registry.set_gauge("collision.energy_pj_total", energy_pj_total());
 }
 
 #[cfg(test)]
@@ -54,5 +88,21 @@ mod tests {
         let r = mp_telemetry::Registry::new();
         export_into(&r);
         assert!(r.counter_value("collision.pose_checks_total").unwrap() >= 1);
+    }
+
+    #[test]
+    fn work_counters_feed_the_energy_total() {
+        let before = ops_total();
+        record_pose_work(10, 4, 81);
+        let delta_pj = energy_pj_total() - mp_sim::energy::dynamic_energy_pj(&before);
+        // Concurrent tests only ever add work, so the delta is at least
+        // this call's energy.
+        let just_this = mp_sim::OpCounter {
+            mults: 81,
+            sram_reads: 10,
+            box_tests: 4,
+            ..mp_sim::OpCounter::default()
+        };
+        assert!(delta_pj >= mp_sim::energy::dynamic_energy_pj(&just_this) - 1e-6);
     }
 }

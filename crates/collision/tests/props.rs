@@ -92,6 +92,41 @@ proptest! {
         }
     }
 
+    /// Energy-ledger conservation through the f32 oracle chain: billing
+    /// each pose's counter delta to a scope loses nothing, however the
+    /// poses are partitioned — the scope counters sum field-by-field to
+    /// the whole-run delta, so the priced energy matches bit-for-bit.
+    #[test]
+    fn ledger_conserves_the_f32_chain(
+        obstacles in any_obstacles(),
+        poses in prop::collection::vec(any_pose(), 1..12),
+        stripe in 1usize..4,
+    ) {
+        let robot = RobotModel::jaco2();
+        let mut c = SoftwareChecker::new(robot, Octree::build(&obstacles, 4));
+        let before = c.stats();
+        let mut ledger = mp_sim::EnergyLedger::new();
+        let scopes = ["fk", "traversal", "sat"];
+        for (i, pose) in poses.iter().enumerate() {
+            let (_, work) = mp_collision::attributed(&mut c, |c| c.check_pose(pose));
+            ledger.bill(scopes[(i / stripe) % scopes.len()], work.to_ops());
+        }
+        let whole = c.stats().delta_since(&before).to_ops();
+        prop_assert_eq!(ledger.total_ops(), whole);
+        prop_assert_eq!(
+            ledger.total_energy_pj(),
+            mp_sim::energy::dynamic_energy_pj(&whole),
+            "ledger total must price identically to the whole-run counter"
+        );
+        // Per-scope energies sum to the total up to f64 rounding.
+        let scope_sum: f64 = ledger
+            .iter()
+            .map(|(_, ops)| mp_sim::energy::dynamic_energy_pj(ops))
+            .sum();
+        let total = ledger.total_energy_pj();
+        prop_assert!((scope_sum - total).abs() <= 1e-9 * total.max(1.0));
+    }
+
     /// The checker is a pure function of (pose, environment).
     #[test]
     fn checker_is_deterministic(obstacles in any_obstacles(), pose in any_pose()) {

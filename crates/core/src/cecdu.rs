@@ -169,6 +169,10 @@ impl CecduSim {
                 dur = dur.max(r.cycles);
                 ops += r.ops;
                 ops.mults += OBB_GEN_MULTS;
+                // The OBB Generation Unit fetches the link's kinematic row
+                // (DH parameters + box extents) from the unit's large
+                // configuration SRAM once per generated link OBB.
+                ops.big_sram_reads += 1;
                 links_checked += 1;
                 if r.colliding {
                     colliding = true;
@@ -183,6 +187,11 @@ impl CecduSim {
         FK_SCRATCH.set((frames, obbs));
         // +1 cycle for the Result Collector to report back.
         ops.cd_queries += 1;
+        // Feed the process-wide CD energy counters so hardware-model pose
+        // queries show up in `collision::metrics::energy_pj_total` next to
+        // the software oracle's (node reads land in the same small-SRAM
+        // class the software walk bills).
+        mp_collision::metrics::record_pose_work(ops.sram_reads, ops.box_tests, ops.mults);
         #[cfg(feature = "telemetry")]
         tele_span.end_with(|| {
             mp_telemetry::arg2(
@@ -262,6 +271,7 @@ impl CecduSim {
                 dur = dur.max(f.result.cycles);
                 ops += f.result.ops;
                 ops.mults += OBB_GEN_MULTS;
+                ops.big_sram_reads += 1;
                 links_checked += 1;
                 if link_colliding {
                     colliding = true;

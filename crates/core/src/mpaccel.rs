@@ -3,7 +3,7 @@
 
 use mp_octree::Octree;
 use mp_robot::RobotModel;
-use mp_sim::{MpaccelConfig, OpCounter};
+use mp_sim::{EnergyLedger, MpaccelConfig, OpCounter};
 
 use crate::cecdu::CecduSim;
 use crate::sas::{run_sas, CecduCdu, SasConfig};
@@ -154,6 +154,18 @@ impl MpAccelSystem {
     /// Replays a planner trace against the hardware models and returns the
     /// timing/energy report.
     pub fn run_trace(&self, trace: &PlannerTrace) -> RunReport {
+        self.run_trace_ledgered(trace).0
+    }
+
+    /// [`MpAccelSystem::run_trace`] with per-subsystem energy attribution.
+    ///
+    /// The returned [`EnergyLedger`] bills each trace event's datapath work
+    /// to a scope — `"nn"` (MLP MACs on the DNN accelerator), `"bus"`
+    /// (off-chip DRAM bytes moved) and `"cd"` (SAS + CECDU array ops) — so
+    /// `ledger.total_energy_pj()` equals the report's bottom-up
+    /// `datapath_energy_uj` figure by construction (integer op counters are
+    /// summed before pricing; see `mp_sim::ledger`).
+    pub fn run_trace_ledgered(&self, trace: &PlannerTrace) -> (RunReport, EnergyLedger) {
         // Cold per-trace span: always compiled (a trace replay is not a hot
         // kernel), no-op unless a telemetry sink is installed.
         let tele_span = mp_telemetry::span_args(
@@ -166,6 +178,7 @@ impl MpAccelSystem {
         );
         let clock = self.config.accel.cecdu.iu.clock();
         let mut report = RunReport::default();
+        let mut ledger = EnergyLedger::new();
 
         for event in &trace.events {
             match event {
@@ -173,6 +186,12 @@ impl MpAccelSystem {
                     // 1 MAC = 2 ops; TOPS = 1e12 ops/s.
                     let s = (*macs as f64 * 2.0) / (self.config.dnn_tops * 1e12);
                     report.nn_ms += s * 1e3;
+                    let ops = OpCounter {
+                        mlp_macs: *macs,
+                        ..OpCounter::default()
+                    };
+                    report.ops += ops;
+                    ledger.bill("nn", ops);
                 }
                 TraceEvent::Controller { instructions } => {
                     let s = *instructions as f64 / (self.config.controller_ghz * 1e9);
@@ -181,6 +200,12 @@ impl MpAccelSystem {
                 TraceEvent::BusTransfer { bytes } => {
                     let s = *bytes as f64 / (self.config.bus_gbps * 1e9);
                     report.bus_ms += s * 1e3;
+                    let ops = OpCounter {
+                        dram_bytes: *bytes,
+                        ..OpCounter::default()
+                    };
+                    report.ops += ops;
+                    ledger.bill("bus", ops);
                 }
                 TraceEvent::CdBatch { motions, mode } => {
                     if motions.is_empty() {
@@ -196,6 +221,7 @@ impl MpAccelSystem {
                     report.cd_cycles += r.cycles;
                     report.cd_queries += r.queries;
                     report.ops += r.ops;
+                    ledger.bill("cd", r.ops);
                     report.cd_ms += clock.cycles_to_ms(r.cycles);
                 }
             }
@@ -212,7 +238,7 @@ impl MpAccelSystem {
                 mp_telemetry::ArgValue::U64(report.cd_queries),
             )
         });
-        report
+        (report, ledger)
     }
 }
 
@@ -315,6 +341,27 @@ mod tests {
         );
         let r = sys.run_trace(&demo_trace(&robot, 9, 6));
         assert!(r.total_ms < 1.0, "took {} ms", r.total_ms);
+    }
+
+    #[test]
+    fn ledgered_replay_conserves_datapath_energy() {
+        let robot = RobotModel::baxter();
+        let sys = MpAccelSystem::new(
+            robot.clone(),
+            Scene::random(SceneConfig::paper(), 2).octree(),
+            SystemConfig::paper_default(),
+        );
+        let (r, ledger) = sys.run_trace_ledgered(&demo_trace(&robot, 4, 4));
+        // Every billed op landed in exactly one scope, so the ledger's
+        // integer totals match the report's and the energy is bit-exact.
+        assert_eq!(ledger.total_ops(), r.ops);
+        assert_eq!(
+            ledger.total_energy_pj(),
+            mp_sim::energy::dynamic_energy_pj(&r.ops)
+        );
+        assert!(ledger.scope_energy_pj("nn").unwrap() > 0.0);
+        assert!(ledger.scope_energy_pj("bus").unwrap() > 0.0);
+        assert!(ledger.scope_energy_pj("cd").unwrap() > 0.0);
     }
 
     #[test]

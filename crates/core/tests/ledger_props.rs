@@ -1,0 +1,96 @@
+//! Property-based tests of energy-ledger conservation through the
+//! Q3.12 hardware chain: billing each CECDU pose query's op counter to
+//! a scope must lose nothing, whatever the partitioning — the integer
+//! scope counters sum field-by-field to the whole-run counter, so the
+//! priced energy matches bit-for-bit (the ledger's core contract).
+
+use mp_geometry::{Aabb, AabbF, Vec3};
+use mp_octree::Octree;
+use mp_robot::{JointConfig, RobotModel};
+use mp_sim::{energy, CecduConfig, EnergyLedger, IuKind, OpCounter};
+use mpaccel_core::cecdu::CecduSim;
+use proptest::prelude::*;
+
+fn any_obstacles() -> impl Strategy<Value = Vec<AabbF>> {
+    prop::collection::vec(
+        (
+            -0.7f32..0.7,
+            -0.7f32..0.7,
+            -0.7f32..0.7,
+            0.03f32..0.12,
+            0.03f32..0.12,
+            0.03f32..0.12,
+        )
+            .prop_map(|(x, y, z, a, b, c)| Aabb::new(Vec3::new(x, y, z), Vec3::new(a, b, c))),
+        0..7,
+    )
+}
+
+fn any_pose() -> impl Strategy<Value = JointConfig> {
+    prop::collection::vec(-2.8f32..2.8, 6).prop_map(JointConfig::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation through the CECDU: scope-partitioned billing of the
+    /// Q3.12 datapath ops (OBB generation, big-SRAM fetches, SAT mults)
+    /// reconstructs the whole-run counter and energy exactly.
+    #[test]
+    fn ledger_conserves_the_q312_chain(
+        obstacles in any_obstacles(),
+        poses in prop::collection::vec(any_pose(), 1..10),
+        stripe in 1usize..4,
+    ) {
+        let sim = CecduSim::new(
+            RobotModel::jaco2(),
+            Octree::build(&obstacles, 4),
+            CecduConfig::new(4, IuKind::MultiCycle),
+        );
+        let scopes = ["obb_gen", "octree", "intersect"];
+        let mut ledger = EnergyLedger::new();
+        let mut whole = OpCounter::default();
+        for (i, pose) in poses.iter().enumerate() {
+            let r = sim.check_pose(pose);
+            ledger.bill(scopes[(i / stripe) % scopes.len()], r.ops);
+            whole += r.ops;
+        }
+        prop_assert_eq!(ledger.total_ops(), whole);
+        prop_assert_eq!(
+            ledger.total_energy_pj(),
+            energy::dynamic_energy_pj(&whole),
+            "ledger total must price identically to the whole-run counter"
+        );
+        // The hardware chain actually exercises the Q3.12-specific op
+        // classes the ledger must carry.
+        prop_assert!(whole.big_sram_reads > 0, "CECDU pays large-SRAM fetches");
+        prop_assert!(whole.mults > 0, "CECDU pays fixed-point mults");
+    }
+
+    /// Merging ledgers (`absorb`) conserves too: splitting the same pose
+    /// stream across two ledgers and merging equals billing one ledger.
+    #[test]
+    fn absorb_conserves(
+        obstacles in any_obstacles(),
+        poses in prop::collection::vec(any_pose(), 2..10),
+        at_ in 1usize..9,
+    ) {
+        let sim = CecduSim::new(
+            RobotModel::jaco2(),
+            Octree::build(&obstacles, 4),
+            CecduConfig::new(4, IuKind::MultiCycle),
+        );
+        let cut = at_.min(poses.len() - 1);
+        let mut one = EnergyLedger::new();
+        let mut front = EnergyLedger::new();
+        let mut back = EnergyLedger::new();
+        for (i, pose) in poses.iter().enumerate() {
+            let r = sim.check_pose(pose);
+            one.bill("cd", r.ops);
+            if i < cut { &mut front } else { &mut back }.bill("cd", r.ops);
+        }
+        front.absorb(&back);
+        prop_assert_eq!(front.total_ops(), one.total_ops());
+        prop_assert_eq!(front.total_energy_pj(), one.total_energy_pj());
+    }
+}

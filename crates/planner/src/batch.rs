@@ -63,26 +63,24 @@ pub struct BatchLaneOutcome {
     pub stats: CdStats,
 }
 
-fn stats_delta(after: CdStats, before: CdStats) -> CdStats {
-    CdStats {
-        pose_queries: after.pose_queries - before.pose_queries,
-        link_tests: after.link_tests - before.link_tests,
-        box_tests: after.box_tests - before.box_tests,
-        nodes_visited: after.nodes_visited - before.nodes_visited,
-        mults: after.mults - before.mults,
+impl BatchLaneOutcome {
+    /// Dynamic collision-detection energy this lane spent, in picojoules
+    /// (priced from [`BatchLaneOutcome::stats`] by `mp_sim::energy`).
+    pub fn energy_pj(&self) -> f64 {
+        self.stats.energy_pj()
     }
 }
 
 /// Runs `f` against the shared checker and folds the counter delta into
-/// the lane's private stats.
+/// the lane's private stats (the shared snapshot/delta helper from
+/// `mp_collision`).
 fn attributed<C: CollisionChecker, T>(
     checker: &mut C,
     lane_stats: &mut CdStats,
     f: impl FnOnce(&mut C) -> T,
 ) -> T {
-    let before = checker.stats();
-    let out = f(checker);
-    lane_stats.absorb(stats_delta(checker.stats(), before));
+    let (out, delta) = mp_collision::attributed(checker, f);
+    lane_stats.absorb(delta);
     out
 }
 
@@ -404,6 +402,13 @@ pub struct BatchPlanOutcome {
     pub stats: CdStats,
 }
 
+impl BatchPlanOutcome {
+    /// Dynamic collision-detection energy this lane spent, in picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.stats.energy_pj()
+    }
+}
+
 /// Streams MPNet queries through one shared checker per scene.
 ///
 /// MPNet's phase structure is data-dependent (expansion, replanning and
@@ -467,6 +472,7 @@ pub fn plan_at_tier_batch<S: NeuralSampler>(
             mpnet_stream(checker, &mpnet_queries, &mut sampler_for)
                 .into_iter()
                 .map(|r| {
+                    let energy_pj = r.energy_pj();
                     (
                         TierOutcome {
                             tier,
@@ -477,6 +483,7 @@ pub fn plan_at_tier_batch<S: NeuralSampler>(
                                 r.outcome.stats.cd_queries,
                                 r.outcome.stats.nn_calls,
                             ),
+                            energy_pj,
                         },
                         r.outcome.path,
                     )
@@ -486,6 +493,7 @@ pub fn plan_at_tier_batch<S: NeuralSampler>(
         None => rrt_connect_batch(checker, queries, &tier.rrt_config())
             .into_iter()
             .map(|r| {
+                let energy_pj = r.energy_pj();
                 (
                     TierOutcome {
                         tier,
@@ -493,6 +501,7 @@ pub fn plan_at_tier_batch<S: NeuralSampler>(
                         cd_queries: r.outcome.cd_queries,
                         nn_calls: 0,
                         modeled_us: r.outcome.cd_queries as f64 * CD_QUERY_MODELED_US,
+                        energy_pj,
                     },
                     r.outcome.path,
                 )

@@ -14,6 +14,7 @@
 
 use mp_collision::CollisionChecker;
 use mp_robot::{JointConfig, Motion, MotionDescriptor};
+use mp_sim::{EnergyLedger, OpCounter};
 use mpaccel_core::sas::FunctionMode;
 use mpaccel_core::trace::{PlannerTrace, TraceEvent};
 
@@ -190,12 +191,22 @@ pub struct PlanOutcome {
     pub stats: PlanStats,
     /// Why planning failed (`None` on success).
     pub failure: Option<PlanFailure>,
+    /// Per-phase energy attribution: CD work (priced from the checker's
+    /// counter deltas) plus the NN MACs and upload bytes each phase spent.
+    /// The phases partition the attempt, so `ledger.total_energy_pj()` is
+    /// the whole attempt's dynamic energy (see `mp_sim::ledger`).
+    pub ledger: EnergyLedger,
 }
 
 impl PlanOutcome {
     /// Whether a path was found.
     pub fn solved(&self) -> bool {
         self.path.is_some()
+    }
+
+    /// Total dynamic energy the attempt spent, in picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.ledger.total_energy_pj()
     }
 
     /// C-space length of the found path.
@@ -241,30 +252,50 @@ pub fn plan(
     let step = cfg.cspace_step;
     let cd_before = checker.stats().pose_queries;
 
+    // Per-phase energy ledger: CD work is billed by differencing the
+    // checker's counters at phase boundaries (the marks are contiguous, so
+    // the scopes partition the attempt's CD work exactly); NN MACs and the
+    // upload bytes are billed to the phase that spent them.
+    let mut ledger = EnergyLedger::new();
+
     // Environment + query upload (Fig 11, step 1).
+    let upload_bytes = 768 + (4 * start.dof() as u64) * 2;
     trace.push(TraceEvent::BusTransfer {
-        bytes: 768 + (4 * start.dof() as u64) * 2,
+        bytes: upload_bytes,
     });
+    ledger.bill(
+        "upload",
+        OpCounter {
+            dram_bytes: upload_bytes,
+            ..OpCounter::default()
+        },
+    );
 
     // Endpoint validity.
+    let mark = checker.stats();
     if checker.check_pose(start) {
         stats.cd_queries = checker.stats().pose_queries - cd_before;
+        ledger.bill("endpoints", checker.stats().delta_since(&mark).to_ops());
         return PlanOutcome {
             path: None,
             trace,
             stats,
             failure: Some(PlanFailure::InvalidStart),
+            ledger,
         };
     }
     if checker.check_pose(goal) {
         stats.cd_queries = checker.stats().pose_queries - cd_before;
+        ledger.bill("endpoints", checker.stats().delta_since(&mark).to_ops());
         return PlanOutcome {
             path: None,
             trace,
             stats,
             failure: Some(PlanFailure::InvalidGoal),
+            ledger,
         };
     }
+    ledger.bill("endpoints", checker.stats().delta_since(&mark).to_ops());
 
     use rand::{rngs::StdRng, Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
@@ -272,6 +303,8 @@ pub fn plan(
 
     // --- Phase 1: bidirectional neural planning. ---
     let phase1 = mp_telemetry::span("planner", "phase1_neural");
+    let mark = checker.stats();
+    let mut phase_macs = 0u64;
     let mut path_a = vec![start.clone()];
     let mut path_b = vec![goal.clone()];
     let mut connected = false;
@@ -305,6 +338,7 @@ pub fn plan(
                 macs: sampler.macs(),
             });
             stats.nn_calls += 1;
+            phase_macs += sampler.macs();
             let proposal = sampler.next_pose(&end_a, &end_b);
             let candidate = if stall_streak > 0 {
                 let amp = cfg.replan_noise * stall_streak as f32;
@@ -337,6 +371,9 @@ pub fn plan(
         std::mem::swap(&mut path_a, &mut path_b);
     }
     drop(phase1);
+    let mut phase1_ops = checker.stats().delta_since(&mark).to_ops();
+    phase1_ops.mlp_macs = phase_macs;
+    ledger.bill("phase1_neural", phase1_ops);
     if !connected {
         stats.cd_queries = checker.stats().pose_queries - cd_before;
         return PlanOutcome {
@@ -344,6 +381,7 @@ pub fn plan(
             trace,
             stats,
             failure: Some(phase1_failure.unwrap_or(PlanFailure::NotConnected)),
+            ledger,
         };
     }
     path_b.reverse();
@@ -359,6 +397,8 @@ pub fn plan(
     // --- Phase 2: feasibility checking + neural replanning. ---
     // The guard also closes on the early returns inside the loop.
     let phase2 = mp_telemetry::span("planner", "phase2_replan");
+    let mark = checker.stats();
+    let mut phase_macs = 0u64;
     let mut attempts = cfg.replan_attempts;
     let mut consecutive_failures = 0u32;
     let mut last_bad = usize::MAX;
@@ -368,11 +408,15 @@ pub fn plan(
             .exceeded(checker.stats().pose_queries - cd_before, stats.nn_calls)
         {
             stats.cd_queries = checker.stats().pose_queries - cd_before;
+            let mut phase2_ops = checker.stats().delta_since(&mark).to_ops();
+            phase2_ops.mlp_macs = phase_macs;
+            ledger.bill("phase2_replan", phase2_ops);
             return PlanOutcome {
                 path: None,
                 trace,
                 stats,
                 failure: Some(PlanFailure::BudgetExhausted(r)),
+                ledger,
             };
         }
         let motions: Vec<Motion> = path
@@ -384,11 +428,15 @@ pub fn plan(
             Some(bad) => {
                 if attempts == 0 || path.len() >= cfg.max_waypoints {
                     stats.cd_queries = checker.stats().pose_queries - cd_before;
+                    let mut phase2_ops = checker.stats().delta_since(&mark).to_ops();
+                    phase2_ops.mlp_macs = phase_macs;
+                    ledger.bill("phase2_replan", phase2_ops);
                     return PlanOutcome {
                         path: None,
                         trace,
                         stats,
                         failure: Some(PlanFailure::ReplanExhausted),
+                        ledger,
                     };
                 }
                 attempts -= 1;
@@ -407,6 +455,7 @@ pub fn plan(
                     macs: sampler.macs(),
                 });
                 stats.nn_calls += 1;
+                phase_macs += sampler.macs();
                 let amp = cfg.replan_noise * (1.0 + consecutive_failures as f32 * 0.5);
                 let mut detour = None;
                 for _ in 0..5 {
@@ -438,13 +487,21 @@ pub fn plan(
     }
 
     drop(phase2);
+    let mut phase2_ops = checker.stats().delta_since(&mark).to_ops();
+    phase2_ops.mlp_macs = phase_macs;
+    ledger.bill("phase2_replan", phase2_ops);
 
     // --- Phase 3: path optimization (greedy shortcutting, §2.1). ---
     if cfg.shortcut {
         let _phase3 = mp_telemetry::span("planner", "phase3_shortcut");
+        let mark = checker.stats();
         let before = path.len();
         greedy_shortcut(checker, &mut trace, &mut path, step);
         stats.shortcut_removed = before - path.len();
+        ledger.bill(
+            "phase3_shortcut",
+            checker.stats().delta_since(&mark).to_ops(),
+        );
     }
 
     trace.solved = true;
@@ -454,6 +511,7 @@ pub fn plan(
         trace,
         stats,
         failure: None,
+        ledger,
     }
 }
 
@@ -650,6 +708,36 @@ mod tests {
         assert_eq!(path.last().unwrap(), &far_goal(&robot));
         assert!(out.trace.solved);
         assert!(out.trace.cd_batches() >= 1);
+    }
+
+    #[test]
+    fn ledger_partitions_the_attempts_cd_work_exactly() {
+        let robot = RobotModel::jaco2();
+        let scene = Scene::random(SceneConfig::paper(), 2);
+        let mut checker = SoftwareChecker::new(robot.clone(), scene.octree());
+        let mut sampler = OracleSampler::new(robot.clone(), 4)
+            .with_noise(0.3)
+            .with_step(0.5);
+        let goal = far_goal(&robot);
+        let (out, whole) = mp_collision::attributed(&mut checker, |c| {
+            plan(
+                c,
+                &mut sampler,
+                &robot.home(),
+                &goal,
+                &MpnetConfig::default(),
+            )
+        });
+        let mut total = out.ledger.total_ops();
+        // The ledger additionally bills NN MACs and the query upload,
+        // which the checker never sees; the CD classes must partition the
+        // checker's whole-run delta exactly.
+        assert_eq!(total.dram_bytes, 768 + (4 * robot.dof() as u64) * 2);
+        assert!(out.stats.nn_calls == 0 || total.mlp_macs > 0);
+        total.mlp_macs = 0;
+        total.dram_bytes = 0;
+        assert_eq!(total, whole.to_ops());
+        assert!(out.energy_pj() > 0.0);
     }
 
     #[test]

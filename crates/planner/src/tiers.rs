@@ -169,6 +169,11 @@ pub struct TierOutcome {
     pub nn_calls: u64,
     /// Modeled accelerator time for the attempt (µs).
     pub modeled_us: f64,
+    /// Dynamic collision-detection datapath energy the attempt spent, in
+    /// picojoules: the checker's counter delta priced by `mp_sim::energy`.
+    /// NN inference energy is billed separately (as `mlp_macs`) when the
+    /// recorded trace is replayed on the hardware models.
+    pub energy_pj: f64,
 }
 
 /// Runs one planning attempt at `tier`. This is the service's cheap
@@ -206,34 +211,44 @@ pub fn plan_at_tier_with_path(
         "plan",
         mp_telemetry::arg1("tier", mp_telemetry::ArgValue::Str(tier.label())),
     );
-    let (outcome, path) = match tier.mpnet_config(seed) {
-        Some(cfg) => {
-            let out = plan(checker, sampler, start, goal, &cfg);
-            (
-                TierOutcome {
-                    tier,
-                    solved: out.solved(),
-                    cd_queries: out.stats.cd_queries,
-                    nn_calls: out.stats.nn_calls,
-                    modeled_us: PlanBudget::modeled_us(out.stats.cd_queries, out.stats.nn_calls),
-                },
-                out.path,
-            )
-        }
-        None => {
-            let out = rrt_connect(checker, start, goal, &tier.rrt_config(), seed);
-            (
-                TierOutcome {
-                    tier,
-                    solved: out.solved(),
-                    cd_queries: out.cd_queries,
-                    nn_calls: 0,
-                    modeled_us: out.cd_queries as f64 * CD_QUERY_MODELED_US,
-                },
-                out.path,
-            )
-        }
-    };
+    // The attempt's energy is the checker's counter delta priced by the
+    // energy model — the same attribution the batched entry point derives
+    // per lane, so sequential and batched outcomes stay bit-identical.
+    let ((mut outcome, path), cd_work) =
+        mp_collision::attributed(checker, |c| match tier.mpnet_config(seed) {
+            Some(cfg) => {
+                let out = plan(c, sampler, start, goal, &cfg);
+                (
+                    TierOutcome {
+                        tier,
+                        solved: out.solved(),
+                        cd_queries: out.stats.cd_queries,
+                        nn_calls: out.stats.nn_calls,
+                        modeled_us: PlanBudget::modeled_us(
+                            out.stats.cd_queries,
+                            out.stats.nn_calls,
+                        ),
+                        energy_pj: 0.0,
+                    },
+                    out.path,
+                )
+            }
+            None => {
+                let out = rrt_connect(c, start, goal, &tier.rrt_config(), seed);
+                (
+                    TierOutcome {
+                        tier,
+                        solved: out.solved(),
+                        cd_queries: out.cd_queries,
+                        nn_calls: 0,
+                        modeled_us: out.cd_queries as f64 * CD_QUERY_MODELED_US,
+                        energy_pj: 0.0,
+                    },
+                    out.path,
+                )
+            }
+        });
+    outcome.energy_pj = cd_work.energy_pj();
     span.end_with(|| {
         mp_telemetry::arg2(
             "solved",

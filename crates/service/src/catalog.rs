@@ -30,6 +30,9 @@ pub struct CatalogEntry {
     pub cd_queries: u64,
     /// Neural inferences spent.
     pub nn_calls: u64,
+    /// Dynamic CD datapath energy the attempt spent (pJ), from the
+    /// planner's counter-delta attribution (`TierOutcome::energy_pj`).
+    pub energy_pj: f64,
     /// Software pose queries an independent certification of the
     /// returned plan costs (zero when unsolved — there is no plan).
     pub certify_queries: u64,
@@ -128,6 +131,7 @@ impl PlanCatalog {
                         modeled_us: 0.0,
                         cd_queries: 0,
                         nn_calls: 0,
+                        energy_pj: 0.0,
                         certify_queries: 0,
                         certify_us: 0.0,
                     }; QualityTier::COUNT];
@@ -162,6 +166,7 @@ impl PlanCatalog {
                             modeled_us: out.modeled_us,
                             cd_queries: out.cd_queries,
                             nn_calls: out.nn_calls,
+                            energy_pj: out.energy_pj,
                             certify_queries: cert.map_or(0, |c| c.cd_queries),
                             certify_us: cert.map_or(0.0, |c| c.modeled_us),
                         };
@@ -214,6 +219,18 @@ impl PlanCatalog {
     /// serving everything at full quality.
     pub fn saturating_rate_per_s(&self, instances: usize) -> f64 {
         instances as f64 * 1e6 / self.mean_service_us(QualityTier::Full).max(1e-9)
+    }
+
+    /// Mean dynamic CD energy per planning attempt at a tier (pJ) — the
+    /// energy-side analogue of [`PlanCatalog::mean_service_us`], used by
+    /// capacity planning to trade joules against deadline slack.
+    pub fn mean_energy_pj(&self, tier: QualityTier) -> f64 {
+        let sum: f64 = self
+            .entries
+            .iter()
+            .map(|row| row[tier.index()].energy_pj)
+            .sum();
+        sum / self.entries.len() as f64
     }
 
     /// Mean certification cost over the keys the tier solves (µs) — the
@@ -281,6 +298,7 @@ mod tests {
         assert_eq!(c.num_keys(), 4);
         for tier in QualityTier::LADDER {
             assert!(c.mean_service_us(tier) > 0.0);
+            assert!(c.mean_energy_pj(tier) > 0.0);
         }
         // Degraded tiers must be cheaper on average than full quality —
         // the premise of the whole degradation ladder.

@@ -629,7 +629,29 @@ impl Fleet<'_> {
             self.shards[s].inflight[inst] = (usize::MAX, 0);
         }
 
+        let quality = QualityTier::from_index(tier);
+        let entry = *self.catalog.entry(self.reqs[id].key, quality);
+        // Energy the dispatch actually spent: the catalog attempt cost,
+        // doubled when suspicion voting re-executed it. The shard is
+        // billed for every completion it produced — including copies
+        // whose result turns out to be useless — while the fleet ledger
+        // splits winning attempts from wasted ones below.
+        let attempt_pj = if voted {
+            2.0 * entry.energy_pj
+        } else {
+            entry.energy_pj
+        };
+        self.shards[s].stats.energy_pj += attempt_pj;
+        // Per-shard power-rail counter track (pJ/µs ≡ µW), one lane per
+        // fleet-global instance, mirroring the dispatch occupancy lanes.
+        telemetry::counter_on(
+            Lane::new("rail", (s * self.cfg.shard.instances + inst) as u32),
+            "power_uw",
+            entry.energy_pj / entry.modeled_us.max(1e-9),
+        );
+
         if let Some(_kind) = fault {
+            self.summary.fleet.wasted_energy_pj += attempt_pj;
             self.shards[s].injectors[inst].counters_mut().detected += 1;
             let quarantined = self
                 .cfg
@@ -670,12 +692,12 @@ impl Fleet<'_> {
 
         self.shards[s].pool.record_success(inst);
         if self.reqs[id].verdict.is_some() {
-            // The hedge twin (or a failover copy) already resolved it.
+            // The hedge twin (or a failover copy) already resolved it:
+            // the straggler's energy bought nothing.
             self.summary.hedge_wasted += 1;
+            self.summary.fleet.wasted_energy_pj += attempt_pj;
             return;
         }
-        let quality = QualityTier::from_index(tier);
-        let entry = self.catalog.entry(self.reqs[id].key, quality);
         if entry.solved {
             // Integrity pipeline: roll this instance's silent-corruption
             // stream (resolving any vote), then certify before the
@@ -694,7 +716,9 @@ impl Fleet<'_> {
                 if ci.ships_corrupt {
                     // The independent cascade rejects the corrupted plan:
                     // attribute, then re-plan degraded under whatever
-                    // budget remains.
+                    // budget remains. The rejected attempt's energy
+                    // bought nothing.
+                    self.summary.fleet.wasted_energy_pj += attempt_pj;
                     self.shards[s].integrity.stats.certify_failed += 1;
                     self.shards[s].integrity.accuse(inst);
                     telemetry::instant_args(
@@ -772,6 +796,43 @@ impl Fleet<'_> {
                 self.summary.hedge_wins += 1;
             }
             self.summary.fleet.tier_served[tier] += 1;
+            self.summary.fleet.energy_pj += attempt_pj;
+            self.summary.fleet.tier_energy_pj[tier] += attempt_pj;
+            if tier > 0 {
+                // Energy the ladder saved by serving this key below full
+                // quality.
+                let full_pj = self
+                    .catalog
+                    .entry(self.reqs[id].key, QualityTier::Full)
+                    .energy_pj;
+                self.summary.fleet.degraded_saved_pj += full_pj - entry.energy_pj;
+            }
+            if let Some(budget) = self.cfg.shard.energy_budget_pj_per_plan {
+                if attempt_pj > budget {
+                    self.summary.fleet.energy_breaches += 1;
+                    telemetry::instant_args(
+                        "fleet",
+                        "energy_budget_breach",
+                        arg2(
+                            "req",
+                            ArgValue::U64(id as u64),
+                            "pj",
+                            ArgValue::F64(attempt_pj),
+                        ),
+                    );
+                    if telemetry::active() {
+                        telemetry::incident_kind(
+                            IncidentKind::EnergyBudgetBreach,
+                            &format!(
+                                "req={id} shard={s} tier={} pj={:.0} budget_pj={budget:.0} \
+                                 t_ns={now}",
+                                quality.label(),
+                                attempt_pj
+                            ),
+                        );
+                    }
+                }
+            }
             self.latencies.push(latency);
             self.shards[s].latencies.push(latency);
             self.shards[s].stats.served += 1;
@@ -779,9 +840,13 @@ impl Fleet<'_> {
                 self.shards[s].stats.on_time += 1;
             }
             let t = self.reqs[id].tenant;
+            self.tenants[t].energy_pj += attempt_pj;
             self.tenant_lat[t].push(latency);
             self.resolve(id, verdict);
         } else if tier + 1 < QualityTier::COUNT {
+            // Budget exhausted without a path: the attempt's energy is
+            // spent either way.
+            self.summary.fleet.wasted_energy_pj += attempt_pj;
             self.reqs[id].tier_floor = self.reqs[id].tier_floor.max(tier + 1);
             self.summary.fleet.tier_stepdowns += 1;
             if !self.enqueue_on(s, id, now) {
@@ -789,6 +854,7 @@ impl Fleet<'_> {
                 self.copy_dies(id, Verdict::Shed(ShedReason::QueueFull));
             }
         } else {
+            self.summary.fleet.wasted_energy_pj += attempt_pj;
             self.copy_dies(id, Verdict::Unsolved);
         }
     }
@@ -1270,6 +1336,23 @@ mod tests {
             "tenant rows must partition the offered traffic"
         );
         assert!(a.imbalance() >= 1.0);
+        // Energy accounting: completions carry energy, the tier split and
+        // the tenant rows both sum to the fleet total, and the shard rows
+        // cover everything the fleet spent (winning + wasted attempts;
+        // shards may also bill crash-stale copies the fleet never saw
+        // resolve, so they bound the fleet ledger from above).
+        assert!(f.energy_pj > 0.0, "completions must spend energy");
+        let tier_sum: f64 = f.tier_energy_pj.iter().sum();
+        assert!((tier_sum - f.energy_pj).abs() < 1e-6 * f.energy_pj.max(1.0));
+        let tenant_sum: f64 = a.tenants.iter().map(|t| t.energy_pj).sum();
+        assert!((tenant_sum - f.energy_pj).abs() < 1e-6 * f.energy_pj.max(1.0));
+        let shard_sum: f64 = a.shards.iter().map(|s| s.energy_pj).sum();
+        assert!(
+            shard_sum >= f.energy_pj + f.wasted_energy_pj - 1e-6 * shard_sum.max(1.0),
+            "shard rows must cover the fleet ledger: {shard_sum} < {}",
+            f.energy_pj + f.wasted_energy_pj
+        );
+        assert!(f.energy_per_plan_pj() > 0.0);
     }
 
     #[test]

@@ -43,6 +43,26 @@ pub struct ServiceSummary {
     pub quarantines: u64,
     /// Completions (on-time + late) by serving tier.
     pub tier_served: [u64; QualityTier::COUNT],
+    /// Dynamic CD datapath energy spent by the *winning* attempt of each
+    /// completed request (pJ), from the plan catalog's counter-delta
+    /// attribution. Non-winning attempts (faulted dispatches, tier
+    /// step-downs, certify-rejected replans, losing hedge copies) land in
+    /// `wasted_energy_pj` instead.
+    pub energy_pj: f64,
+    /// Energy spent by serving tier (pJ); sums to `energy_pj`.
+    pub tier_energy_pj: [f64; QualityTier::COUNT],
+    /// Energy spent on work whose result was discarded (pJ): fault-retry
+    /// attempts that were re-dispatched, and hedge copies that lost the
+    /// race (fleet runs only). Counted *in addition to* `energy_pj`.
+    pub wasted_energy_pj: f64,
+    /// Energy the ladder avoided by serving below full quality (pJ):
+    /// Σ over degraded completions of (what the same key costs at the
+    /// full tier − what the serving tier spent). The degradation story
+    /// in joules.
+    pub degraded_saved_pj: f64,
+    /// Completions that breached the per-plan energy budget (0 when no
+    /// budget is configured).
+    pub energy_breaches: u64,
     /// Total busy time across the pool (ns).
     pub busy_ns: u64,
     /// Merged fault-injection / recovery counters.
@@ -141,6 +161,44 @@ impl ServiceSummary {
         self.shed_queue_full + self.shed_hopeless + self.shed_throttled + self.shed_shard_lost
     }
 
+    /// Mean dynamic CD energy per completed request (pJ); 0 when nothing
+    /// completed. Retried attempts are billed to the request, so this is
+    /// joules-per-delivered-plan, not joules-per-attempt.
+    pub fn energy_per_plan_pj(&self) -> f64 {
+        if self.completed() == 0 {
+            return 0.0;
+        }
+        self.energy_pj / self.completed() as f64
+    }
+
+    /// Mean energy per completion served at `tier` (pJ); 0 when the tier
+    /// served nothing.
+    pub fn tier_energy_per_plan_pj(&self, tier: QualityTier) -> f64 {
+        let served = self.tier_served[tier.index()];
+        if served == 0 {
+            return 0.0;
+        }
+        self.tier_energy_pj[tier.index()] / served as f64
+    }
+
+    /// Fraction of all energy spent (useful + wasted) that produced no
+    /// delivered plan; 0 when no energy was spent.
+    pub fn wasted_energy_frac(&self) -> f64 {
+        let total = self.energy_pj + self.wasted_energy_pj;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.wasted_energy_pj / total
+    }
+
+    /// Average power the planning datapath drew over the arrival window
+    /// (µW): total energy (useful + wasted) over virtual wall time. pJ/µs
+    /// is exactly µW, so this is `Σ pJ / (duration in µs)`.
+    pub fn mean_power_uw(&self) -> f64 {
+        let duration_us = self.duration_ns as f64 / 1_000.0;
+        (self.energy_pj + self.wasted_energy_pj) / duration_us.max(1e-12)
+    }
+
     /// Exports the whole summary — counts, rates, the latency histogram,
     /// and the merged resilience counters — into a telemetry registry
     /// under `<prefix>.<field>` names.
@@ -164,6 +222,24 @@ impl ServiceSummary {
             );
         }
         registry.set_counter(&format!("{prefix}.busy_ns"), self.busy_ns);
+        registry.set_gauge(&format!("{prefix}.energy_pj"), self.energy_pj);
+        for tier in QualityTier::LADDER {
+            registry.set_gauge(
+                &format!("{prefix}.energy_pj.{}", tier.label()),
+                self.tier_energy_pj[tier.index()],
+            );
+        }
+        registry.set_gauge(
+            &format!("{prefix}.energy_per_plan_pj"),
+            self.energy_per_plan_pj(),
+        );
+        registry.set_gauge(&format!("{prefix}.wasted_energy_pj"), self.wasted_energy_pj);
+        registry.set_gauge(
+            &format!("{prefix}.degraded_saved_pj"),
+            self.degraded_saved_pj,
+        );
+        registry.set_counter(&format!("{prefix}.energy_breaches"), self.energy_breaches);
+        registry.set_gauge(&format!("{prefix}.mean_power_uw"), self.mean_power_uw());
         registry.set_gauge(&format!("{prefix}.goodput_rps"), self.goodput_rps());
         registry.set_gauge(&format!("{prefix}.miss_rate"), self.miss_rate());
         registry.set_gauge(&format!("{prefix}.utilization"), self.utilization());
@@ -207,6 +283,9 @@ pub struct ShardStats {
     /// Busy time across the shard's instances (ns), summed across crash
     /// epochs.
     pub busy_ns: u64,
+    /// Dynamic CD energy this shard's completions spent (pJ), including
+    /// hedge copies that lost (the shard did the work either way).
+    pub energy_pj: f64,
     /// Circuit-breaker quarantines on this shard's instances.
     pub quarantines: u64,
     /// Latencies of requests this shard completed (ns).
@@ -249,6 +328,9 @@ pub struct TenantStats {
     pub shed: u64,
     /// Rejected by the tenant's token bucket.
     pub throttled: u64,
+    /// Dynamic CD energy this tenant's completed requests spent (pJ) —
+    /// the chargeback figure for per-tenant energy billing.
+    pub energy_pj: f64,
     /// Latencies of this tenant's served requests (ns).
     latency_hist: HistSnapshot,
 }
@@ -290,6 +372,15 @@ impl TenantStats {
             .percentile(0.999)
             .map(|ns| ns as f64 / 1_000.0)
             .unwrap_or(0.0)
+    }
+
+    /// Mean energy per completed request (pJ); 0 when nothing was served.
+    pub fn energy_per_plan_pj(&self) -> f64 {
+        let served = self.on_time + self.late;
+        if served == 0 {
+            return 0.0;
+        }
+        self.energy_pj / served as f64
     }
 }
 
@@ -350,6 +441,7 @@ impl FleetSummary {
             registry.set_counter(&format!("{p}.on_time"), s.on_time);
             registry.set_counter(&format!("{p}.sheds"), s.sheds);
             registry.set_counter(&format!("{p}.kills"), s.kills as u64);
+            registry.set_gauge(&format!("{p}.energy_pj"), s.energy_pj);
             registry.set_gauge(&format!("{p}.p999_us"), s.p999_us());
         }
         for t in &self.tenants {
@@ -357,6 +449,8 @@ impl FleetSummary {
             registry.set_counter(&format!("{p}.offered"), t.offered);
             registry.set_counter(&format!("{p}.on_time"), t.on_time);
             registry.set_counter(&format!("{p}.throttled"), t.throttled);
+            registry.set_gauge(&format!("{p}.energy_pj"), t.energy_pj);
+            registry.set_gauge(&format!("{p}.energy_per_plan_pj"), t.energy_per_plan_pj());
             registry.set_gauge(&format!("{p}.goodput_rps"), t.goodput_rps());
             registry.set_gauge(&format!("{p}.miss_rate"), t.miss_rate());
         }
@@ -393,10 +487,16 @@ mod tests {
             ..ServiceSummary::default()
         };
         s.tier_served[0] = 9;
+        s.energy_pj = 1_800.0;
+        s.tier_energy_pj[0] = 1_800.0;
         s.set_latencies(vec![5_000; 9]);
         let r = Registry::new();
         s.export_into("service", &r);
         assert_eq!(r.counter_value("service.on_time"), Some(8));
+        assert_eq!(r.gauge_value("service.energy_pj"), Some(1_800.0));
+        assert_eq!(r.gauge_value("service.energy_pj.full"), Some(1_800.0));
+        assert_eq!(r.gauge_value("service.energy_per_plan_pj"), Some(200.0));
+        assert_eq!(r.counter_value("service.energy_breaches"), Some(0));
         assert_eq!(r.counter_value("service.served.full"), Some(9));
         assert_eq!(r.gauge_value("service.goodput_rps"), Some(8.0));
         let h = r.histogram("service.latency_ns").unwrap();
@@ -443,6 +543,30 @@ mod tests {
         assert!((s.goodput_rps() - 300.0).abs() < 1e-9);
         assert!((s.miss_rate() - 0.25).abs() < 1e-12);
         assert!((s.utilization() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_rates_follow_the_counts() {
+        let mut s = ServiceSummary {
+            duration_ns: 2_000_000_000, // 2 s = 2e6 µs
+            offered: 20,
+            on_time: 8,
+            late: 2,
+            energy_pj: 4_000.0,
+            wasted_energy_pj: 1_000.0,
+            ..ServiceSummary::default()
+        };
+        s.tier_served[1] = 4;
+        s.tier_energy_pj[1] = 1_200.0;
+        assert!((s.energy_per_plan_pj() - 400.0).abs() < 1e-12);
+        assert!((s.tier_energy_per_plan_pj(QualityTier::Reduced) - 300.0).abs() < 1e-12);
+        assert_eq!(s.tier_energy_per_plan_pj(QualityTier::Coarse), 0.0);
+        assert!((s.wasted_energy_frac() - 0.2).abs() < 1e-12);
+        // 5 000 pJ over 2e6 µs = 2.5e-3 µW.
+        assert!((s.mean_power_uw() - 2.5e-3).abs() < 1e-15);
+        let empty = ServiceSummary::default();
+        assert_eq!(empty.energy_per_plan_pj(), 0.0);
+        assert_eq!(empty.wasted_energy_frac(), 0.0);
     }
 
     #[test]

@@ -125,6 +125,12 @@ pub struct ServiceConfig {
     /// Integrity pipeline (certification / voting / scrub); off by
     /// default.
     pub integrity: IntegrityConfig,
+    /// Per-plan dynamic-energy budget (pJ): a completion whose winning
+    /// attempt spent more raises an `energy_budget_breach` incident and
+    /// counts in [`ServiceSummary::energy_breaches`]. `None` (the
+    /// default) disables the check entirely, so existing runs are
+    /// byte-identical.
+    pub energy_budget_pj_per_plan: Option<f64>,
     /// Run seed (fault streams, request→query assignment).
     pub seed: u64,
 }
@@ -141,6 +147,7 @@ impl Default for ServiceConfig {
             breaker: BreakerConfig::default(),
             faults: FaultProfile::none(),
             integrity: IntegrityConfig::off(),
+            energy_budget_pj_per_plan: None,
             seed: 0,
         }
     }
@@ -491,7 +498,26 @@ impl Run<'_> {
     fn complete(&mut self, inst: usize, id: usize, now: VirtualNs) {
         let (_, fault, voted) = self.inflight[inst];
         let tier_idx = self.reqs[id].tier_floor;
+        let tier = QualityTier::from_index(tier_idx);
+        let entry = *self.catalog.entry(self.reqs[id].key, tier);
+        // Energy the dispatch actually spent: the catalog attempt cost,
+        // doubled when suspicion voting re-executed it. Slow-unit faults
+        // stretch time, not work, so the energy is unchanged.
+        let attempt_pj = if voted {
+            2.0 * entry.energy_pj
+        } else {
+            entry.energy_pj
+        };
+        // Power-rail counter track: the datapath power this dispatch drew
+        // while it ran (pJ/µs ≡ µW). Vote re-execution doubles energy and
+        // time alike, so the rail shows the per-execution figure.
+        telemetry::counter_on(
+            Lane::new("rail", inst as u32),
+            "power_uw",
+            entry.energy_pj / entry.modeled_us.max(1e-9),
+        );
         if let Some(_kind) = fault {
+            self.summary.wasted_energy_pj += attempt_pj;
             self.injectors[inst].counters_mut().detected += 1;
             if self
                 .cfg
@@ -536,8 +562,6 @@ impl Run<'_> {
             }
         } else {
             self.pool.record_success(inst);
-            let tier = QualityTier::from_index(tier_idx);
-            let entry = self.catalog.entry(self.reqs[id].key, tier);
             if entry.solved {
                 // Integrity pipeline: roll this instance's silent-
                 // corruption stream (resolving any vote), then certify
@@ -558,7 +582,9 @@ impl Run<'_> {
                     if ci.ships_corrupt {
                         // The independent cascade rejects the corrupted
                         // plan: attribute, then re-plan degraded under
-                        // whatever budget remains.
+                        // whatever budget remains. The rejected attempt's
+                        // energy bought nothing.
+                        self.summary.wasted_energy_pj += attempt_pj;
                         self.integrity.stats.certify_failed += 1;
                         self.integrity.accuse(inst);
                         telemetry::instant_args(
@@ -643,15 +669,52 @@ impl Run<'_> {
                     }
                 };
                 self.summary.tier_served[tier_idx] += 1;
+                self.summary.energy_pj += attempt_pj;
+                self.summary.tier_energy_pj[tier_idx] += attempt_pj;
+                if tier_idx > 0 {
+                    // Energy the ladder saved by serving this key below
+                    // full quality.
+                    let full_pj = self
+                        .catalog
+                        .entry(self.reqs[id].key, QualityTier::Full)
+                        .energy_pj;
+                    self.summary.degraded_saved_pj += full_pj - entry.energy_pj;
+                }
+                if let Some(budget) = self.cfg.energy_budget_pj_per_plan {
+                    if attempt_pj > budget {
+                        self.summary.energy_breaches += 1;
+                        telemetry::instant_args(
+                            "service",
+                            "energy_budget_breach",
+                            arg2(
+                                "req",
+                                ArgValue::U64(id as u64),
+                                "pj",
+                                ArgValue::F64(attempt_pj),
+                            ),
+                        );
+                        if telemetry::active() {
+                            telemetry::incident(&format!(
+                                "energy_budget_breach req={id} tier={} pj={:.0} \
+                                 budget_pj={budget:.0} t_ns={now}",
+                                tier.label(),
+                                attempt_pj
+                            ));
+                        }
+                    }
+                }
                 self.latencies.push(latency);
                 self.resolve(id, verdict);
             } else if tier_idx + 1 < QualityTier::COUNT {
                 // Budget exhausted without a path: step down the ladder
-                // and try again immediately (the cheap re-plan path).
+                // and try again immediately (the cheap re-plan path). The
+                // exhausted attempt's energy is spent either way.
+                self.summary.wasted_energy_pj += attempt_pj;
                 self.reqs[id].tier_floor = tier_idx + 1;
                 self.summary.tier_stepdowns += 1;
                 self.enqueue(id, now);
             } else {
+                self.summary.wasted_energy_pj += attempt_pj;
                 self.resolve(id, Verdict::Unsolved);
             }
         }
@@ -837,6 +900,52 @@ mod tests {
             "every request must resolve exactly once"
         );
         assert!(a.offered > 100, "expected meaningful traffic");
+        // Energy accounting: completions carry energy, the per-tier split
+        // sums to the total, and faulted dispatches wasted some.
+        assert!(a.energy_pj > 0.0, "completions must spend energy");
+        let tier_sum: f64 = a.tier_energy_pj.iter().sum();
+        assert!((tier_sum - a.energy_pj).abs() < 1e-6 * a.energy_pj.max(1.0));
+        assert!(a.energy_per_plan_pj() > 0.0);
+        assert!(a.wasted_energy_pj > 0.0, "retries must waste energy");
+        assert_eq!(a.energy_breaches, 0, "no budget configured");
+    }
+
+    #[test]
+    fn energy_budget_breaches_are_counted() {
+        // A zero budget makes every completion a breach; no budget makes
+        // none — and the budget check never perturbs the simulation.
+        let strict = ServiceConfig {
+            energy_budget_pj_per_plan: Some(0.0),
+            ..ServiceConfig::default()
+        };
+        let unbounded = ServiceConfig::default();
+        let rate = 0.5 * catalog().saturating_rate_per_s(strict.instances);
+        let a = run_service(catalog(), &tenants(rate), DURATION, &strict);
+        let b = run_service(catalog(), &tenants(rate), DURATION, &unbounded);
+        assert_eq!(a.energy_breaches, a.completed());
+        assert_eq!(b.energy_breaches, 0);
+        assert_eq!(a.completed(), b.completed());
+        assert_eq!(a.energy_pj, b.energy_pj);
+        assert_eq!(a.p999_us(), b.p999_us());
+    }
+
+    #[test]
+    fn degraded_tiers_save_energy_under_overload() {
+        let rate = 2.0 * catalog().saturating_rate_per_s(4);
+        let s = run_service(
+            catalog(),
+            &tenants(rate),
+            DURATION,
+            &ServiceConfig::default(),
+        );
+        assert!(
+            s.tier_served[1..].iter().sum::<u64>() > 0,
+            "overload must degrade"
+        );
+        assert!(
+            s.degraded_saved_pj > 0.0,
+            "degraded completions must bank savings"
+        );
     }
 
     #[test]

@@ -7,7 +7,11 @@ use core::ops::{Add, AddAssign};
 /// §4 uses multiplications as the computation estimate; §7.1 uses the
 /// number of collision-detection tests as the energy measure (energy is
 /// linear in tests because the benchmark octrees live entirely in on-chip
-/// SRAM with no coalescing).
+/// SRAM with no coalescing). The counter additionally tracks the off-array
+/// op classes of Table 2 — large-SRAM reads (the 576 KB octree store),
+/// DRAM transfer bytes (environment/query upload), and DNN-accelerator
+/// MACs — so [`crate::energy::dynamic_energy_pj`] covers the whole
+/// datapath, not just the intersection cascade.
 ///
 /// # Examples
 ///
@@ -26,12 +30,23 @@ pub struct OpCounter {
     pub mults: u64,
     /// Fixed-point additions/subtractions.
     pub adds: u64,
-    /// On-chip SRAM reads (octree nodes, link constants).
+    /// On-chip SRAM reads (octree nodes, link constants) from small
+    /// (≤1 KB) arrays.
     pub sram_reads: u64,
     /// OBB–AABB primitive intersection tests started.
     pub box_tests: u64,
     /// Robot-pose collision-detection queries completed.
     pub cd_queries: u64,
+    /// Reads from large on-chip SRAM arrays (8–576 KB: the octree store,
+    /// trace buffers) — several times costlier per word than the small
+    /// node stores.
+    pub big_sram_reads: u64,
+    /// Bytes moved over the DRAM/bus interface (environment + query
+    /// upload, result readback).
+    pub dram_bytes: u64,
+    /// Multiply-accumulates executed by the DNN accelerator (MPNet
+    /// sampler inference).
+    pub mlp_macs: u64,
 }
 
 impl OpCounter {
@@ -40,13 +55,21 @@ impl OpCounter {
         OpCounter::default()
     }
 
-    /// Relative energy versus a baseline, using multiplications as the
-    /// proxy (§4). Returns `None` if the baseline spent no multiplications.
+    /// Relative dynamic energy versus a baseline, using the weighted
+    /// per-op-class picojoule model ([`crate::energy::dynamic_energy_pj`])
+    /// rather than the raw multiplication count — mult-only ratios
+    /// misrank workloads whose op mix differs (e.g. SRAM-read-heavy OOCD
+    /// traversal versus SAT-heavy narrow phase). Returns `None` if the
+    /// baseline spent no energy.
+    ///
+    /// The coarser per-*query* ratio of §7.1 lives in the bench crate's
+    /// `SasAggregate::energy_vs`, which the figure experiments print.
     pub fn energy_vs(&self, baseline: &OpCounter) -> Option<f64> {
-        if baseline.mults == 0 {
+        let base = crate::energy::dynamic_energy_pj(baseline);
+        if base == 0.0 {
             None
         } else {
-            Some(self.mults as f64 / baseline.mults as f64)
+            Some(crate::energy::dynamic_energy_pj(self) / base)
         }
     }
 
@@ -58,6 +81,9 @@ impl OpCounter {
         registry.set_counter(&format!("{prefix}.sram_reads"), self.sram_reads);
         registry.set_counter(&format!("{prefix}.box_tests"), self.box_tests);
         registry.set_counter(&format!("{prefix}.cd_queries"), self.cd_queries);
+        registry.set_counter(&format!("{prefix}.big_sram_reads"), self.big_sram_reads);
+        registry.set_counter(&format!("{prefix}.dram_bytes"), self.dram_bytes);
+        registry.set_counter(&format!("{prefix}.mlp_macs"), self.mlp_macs);
     }
 }
 
@@ -70,6 +96,9 @@ impl Add for OpCounter {
             sram_reads: self.sram_reads + rhs.sram_reads,
             box_tests: self.box_tests + rhs.box_tests,
             cd_queries: self.cd_queries + rhs.cd_queries,
+            big_sram_reads: self.big_sram_reads + rhs.big_sram_reads,
+            dram_bytes: self.dram_bytes + rhs.dram_bytes,
+            mlp_macs: self.mlp_macs + rhs.mlp_macs,
         }
     }
 }
@@ -98,14 +127,20 @@ mod tests {
             sram_reads: 3,
             box_tests: 4,
             cd_queries: 5,
+            big_sram_reads: 6,
+            dram_bytes: 7,
+            mlp_macs: 8,
         };
         let s: OpCounter = [a, a, a].into_iter().sum();
         assert_eq!(s.mults, 3);
         assert_eq!(s.cd_queries, 15);
+        assert_eq!(s.big_sram_reads, 18);
+        assert_eq!(s.dram_bytes, 21);
+        assert_eq!(s.mlp_macs, 24);
     }
 
     #[test]
-    fn energy_ratio() {
+    fn energy_ratio_is_weighted_not_mult_only() {
         let base = OpCounter {
             mults: 100,
             ..OpCounter::default()
@@ -116,5 +151,14 @@ mod tests {
         };
         assert_eq!(twice.energy_vs(&base), Some(2.0));
         assert_eq!(base.energy_vs(&OpCounter::default()), None);
+        // A mult-free but SRAM-heavy workload has nonzero relative energy;
+        // the old mults-only ratio reported 0.0 here.
+        let sram_heavy = OpCounter {
+            sram_reads: 40,
+            ..OpCounter::default()
+        };
+        let r = sram_heavy.energy_vs(&base).unwrap();
+        assert!(r > 0.0, "weighted ratio must see non-mult work, got {r}");
+        assert_eq!(r, crate::energy::SRAM_READ_PJ * 40.0 / 100.0);
     }
 }

@@ -1,0 +1,196 @@
+//! Per-scope energy attribution: the pJ-accurate energy ledger.
+//!
+//! The leaf models already count every operation ([`OpCounter`]) and
+//! [`crate::energy`] prices each op class in picojoules; what was missing
+//! is *attribution* — which planner phase, quality tier, or query spent
+//! the joules. An [`EnergyLedger`] holds one `OpCounter` per named scope,
+//! billed by counter deltas at scope boundaries (the same trick
+//! `mp_planner::batch` uses for per-lane stats).
+//!
+//! # Conservation
+//!
+//! Scopes store *integer* op counts, not floats, so attribution is exact
+//! by construction: the per-scope counters sum field-by-field to the
+//! whole-run counter, and therefore
+//! `dynamic_energy_pj(&ledger.total_ops())` equals the whole-run energy
+//! bit-for-bit — no float-accumulation drift between "sum of parts" and
+//! "the whole". The ledger-conservation proptests pin this in both the
+//! f32 and Q3.12 checker chains.
+
+use crate::counters::OpCounter;
+use crate::energy::dynamic_energy_pj;
+
+/// An insertion-ordered set of named scopes, each accumulating an
+/// [`OpCounter`].
+///
+/// Scope order is the order of first billing, so rendering a ledger is
+/// deterministic for a deterministic workload. Billing the same scope
+/// repeatedly accumulates.
+///
+/// # Examples
+///
+/// ```
+/// use mp_sim::{energy, EnergyLedger, OpCounter};
+///
+/// let mut ledger = EnergyLedger::new();
+/// let phase1 = OpCounter { mults: 100, ..OpCounter::default() };
+/// let phase2 = OpCounter { mults: 40, adds: 7, ..OpCounter::default() };
+/// ledger.bill("phase1_neural", phase1);
+/// ledger.bill("phase2_replan", phase2);
+/// assert_eq!(ledger.total_ops(), phase1 + phase2);
+/// assert_eq!(
+///     ledger.total_energy_pj(),
+///     energy::dynamic_energy_pj(&(phase1 + phase2)),
+/// );
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EnergyLedger {
+    scopes: Vec<(String, OpCounter)>,
+}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> EnergyLedger {
+        EnergyLedger::default()
+    }
+
+    /// Adds `ops` to the named scope, creating it (at the end of the
+    /// scope order) on first use.
+    pub fn bill(&mut self, scope: &str, ops: OpCounter) {
+        match self.scopes.iter_mut().find(|(name, _)| name == scope) {
+            Some((_, acc)) => *acc += ops,
+            None => self.scopes.push((scope.to_string(), ops)),
+        }
+    }
+
+    /// The accumulated ops of one scope, if it has been billed.
+    pub fn scope_ops(&self, scope: &str) -> Option<OpCounter> {
+        self.scopes
+            .iter()
+            .find(|(name, _)| name == scope)
+            .map(|(_, ops)| *ops)
+    }
+
+    /// The accumulated dynamic energy of one scope, in picojoules.
+    pub fn scope_energy_pj(&self, scope: &str) -> Option<f64> {
+        self.scope_ops(scope).map(|ops| dynamic_energy_pj(&ops))
+    }
+
+    /// Field-by-field sum of every scope's ops — exactly the whole-run
+    /// counter when every operation was billed to some scope.
+    pub fn total_ops(&self) -> OpCounter {
+        self.scopes.iter().map(|(_, ops)| *ops).sum()
+    }
+
+    /// Total dynamic energy across scopes, in picojoules. Computed from
+    /// the *summed integer counters*, so it equals the whole-run
+    /// `dynamic_energy_pj` bit-for-bit (see the module docs).
+    pub fn total_energy_pj(&self) -> f64 {
+        dynamic_energy_pj(&self.total_ops())
+    }
+
+    /// Iterates `(scope, ops)` in first-billed order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &OpCounter)> {
+        self.scopes.iter().map(|(name, ops)| (name.as_str(), ops))
+    }
+
+    /// Number of scopes billed so far.
+    pub fn len(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Whether nothing has been billed.
+    pub fn is_empty(&self) -> bool {
+        self.scopes.is_empty()
+    }
+
+    /// Merges another ledger's scopes into this one (scope-wise add).
+    pub fn absorb(&mut self, other: &EnergyLedger) {
+        for (scope, ops) in other.iter() {
+            self.bill(scope, *ops);
+        }
+    }
+
+    /// Exports per-scope op counters and energies into a telemetry
+    /// registry under `<prefix>.<scope>.*` names, plus the totals under
+    /// `<prefix>.total.*`.
+    pub fn export_into(&self, prefix: &str, registry: &mp_telemetry::Registry) {
+        for (scope, ops) in self.iter() {
+            ops.export_into(&format!("{prefix}.{scope}"), registry);
+            registry.set_gauge(
+                &format!("{prefix}.{scope}.energy_pj"),
+                dynamic_energy_pj(ops),
+            );
+        }
+        let total = self.total_ops();
+        total.export_into(&format!("{prefix}.total"), registry);
+        registry.set_gauge(&format!("{prefix}.total.energy_pj"), self.total_energy_pj());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(mults: u64, adds: u64, sram: u64) -> OpCounter {
+        OpCounter {
+            mults,
+            adds,
+            sram_reads: sram,
+            ..OpCounter::default()
+        }
+    }
+
+    #[test]
+    fn billing_accumulates_per_scope_in_first_billed_order() {
+        let mut l = EnergyLedger::new();
+        l.bill("tier.full", ops(10, 0, 0));
+        l.bill("tier.degraded", ops(1, 2, 3));
+        l.bill("tier.full", ops(5, 5, 0));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.scope_ops("tier.full"), Some(ops(15, 5, 0)));
+        assert_eq!(l.scope_ops("tier.degraded"), Some(ops(1, 2, 3)));
+        assert_eq!(l.scope_ops("tier.missing"), None);
+        let order: Vec<&str> = l.iter().map(|(s, _)| s).collect();
+        assert_eq!(order, ["tier.full", "tier.degraded"]);
+    }
+
+    #[test]
+    fn totals_equal_whole_run_energy_exactly() {
+        // Adversarial op mix: adds are priced at 0.05 pJ (inexact in
+        // binary), so summing per-scope *energies* would drift; summing
+        // counters first must not.
+        let parts = [ops(3, 7, 1), ops(0, 13, 5), ops(1000, 1, 0)];
+        let mut l = EnergyLedger::new();
+        let mut whole = OpCounter::default();
+        for (i, p) in parts.iter().enumerate() {
+            l.bill(&format!("phase{i}"), *p);
+            whole += *p;
+        }
+        assert_eq!(l.total_ops(), whole);
+        assert_eq!(l.total_energy_pj(), dynamic_energy_pj(&whole));
+    }
+
+    #[test]
+    fn absorb_merges_scopewise() {
+        let mut a = EnergyLedger::new();
+        a.bill("cd", ops(1, 0, 0));
+        let mut b = EnergyLedger::new();
+        b.bill("cd", ops(2, 0, 0));
+        b.bill("nn", ops(0, 0, 9));
+        a.absorb(&b);
+        assert_eq!(a.scope_ops("cd"), Some(ops(3, 0, 0)));
+        assert_eq!(a.scope_ops("nn"), Some(ops(0, 0, 9)));
+    }
+
+    #[test]
+    fn registry_export_names() {
+        let mut l = EnergyLedger::new();
+        l.bill("cd", ops(4, 0, 2));
+        let r = mp_telemetry::Registry::new();
+        l.export_into("ledger", &r);
+        assert_eq!(r.counter_value("ledger.cd.mults"), Some(4));
+        assert_eq!(r.counter_value("ledger.total.sram_reads"), Some(2));
+        assert!(r.gauge_value("ledger.total.energy_pj").unwrap() > 0.0);
+    }
+}

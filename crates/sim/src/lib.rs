@@ -27,6 +27,7 @@ pub mod arrival;
 pub mod counters;
 pub mod energy;
 pub mod fault;
+pub mod ledger;
 pub mod power;
 pub mod time;
 pub mod vtime;
@@ -37,6 +38,7 @@ pub use fault::{
     FaultInjector, FaultKind, FaultPlan, IntegrityCounters, ResilienceCounters, SdcInjector,
     SdcPlan,
 };
+pub use ledger::EnergyLedger;
 pub use power::{AreaPower, CecduConfig, IuKind, MpaccelConfig};
 pub use time::ClockDomain;
 pub use vtime::{EventQueue, VirtualNs};
